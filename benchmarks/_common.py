@@ -1,0 +1,107 @@
+"""Shared machinery for the figure-reproduction bench targets.
+
+Each ``bench_*`` file regenerates one table or figure from the paper's
+evaluation section: it runs the required (benchmark × configuration)
+grid, prints the same rows/series the paper reports, and asserts the
+*shape* expectations listed in DESIGN.md §5 (who wins, roughly by how
+much, where crossovers fall).  Absolute cycle counts are not expected to
+match the authors' testbed.
+
+Simulation results are memoized per process so that figures sharing
+runs (e.g. Figures 9 and 10) do not repeat them.  Set the environment
+variable ``REPRO_BENCH_SCALE`` to change the instruction scale
+(default: the calibrated ``2e-4``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro import MachineConfig, SimParams, build_benchmark, run_program
+from repro.sim.results import SimResult
+from repro.workloads.program import Program
+
+BENCH_ORDER = (
+    "175.vpr",
+    "164.gzip",
+    "181.mcf",
+    "197.parser",
+    "183.equake",
+    "177.mesa",
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "2e-4"))
+SEED = 2003
+
+_params = SimParams(seed=SEED, scale=SCALE)
+_programs: Dict[str, Program] = {}
+_results: Dict[Tuple[str, str], SimResult] = {}
+
+
+def params() -> SimParams:
+    """The SimParams all bench targets share."""
+    return _params
+
+
+def program(bench: str) -> Program:
+    """Memoized benchmark model build."""
+    if bench not in _programs:
+        _programs[bench] = build_benchmark(bench, SCALE)
+    return _programs[bench]
+
+
+def config_key(cfg: MachineConfig) -> str:
+    """A stable identity for memoization across bench files."""
+    tu = cfg.tu
+    return (
+        f"{cfg.name}|tus={cfg.n_thread_units}|iw={tu.issue_width}"
+        f"|rob={tu.rob_size}"
+        f"|l1={tu.l1d.size}/{tu.l1d.assoc}/{tu.l1d.block_size}"
+        f"|side={tu.sidecar.kind.value}:{tu.sidecar.entries}"
+        f"|bp={tu.branch.kind}:{tu.branch.table_bits}"
+        f"|l2={cfg.mem.l2.size}/{cfg.mem.l2.assoc}"
+        f"|mem={cfg.mem.memory_latency}"
+    )
+
+
+def run(bench: str, cfg: MachineConfig) -> SimResult:
+    """Memoized simulation of one (benchmark, configuration) pair."""
+    key = (bench, config_key(cfg))
+    if key not in _results:
+        _results[key] = run_program(program(bench), cfg, _params)
+    return _results[key]
+
+
+class ShapeChecks:
+    """Collects shape assertions and reports them uniformly."""
+
+    def __init__(self, figure: str) -> None:
+        self.figure = figure
+        self.failures = []
+        self.lines = []
+
+    def check(self, description: str, ok: bool, detail: str = "") -> None:
+        mark = "PASS" if ok else "FAIL"
+        line = f"  [{mark}] {description}" + (f"  ({detail})" if detail else "")
+        self.lines.append(line)
+        if not ok:
+            self.failures.append(description)
+
+    def report(self) -> None:
+        print(f"\nShape checks — {self.figure}:")
+        for line in self.lines:
+            print(line)
+
+    def assert_all(self, tolerate: int = 0) -> None:
+        """Fail the bench if more than ``tolerate`` checks failed."""
+        self.report()
+        assert len(self.failures) <= tolerate, (
+            f"{self.figure}: {len(self.failures)} shape check(s) failed: "
+            f"{self.failures}"
+        )
+
+
+def run_once(benchmark_fixture, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark_fixture.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

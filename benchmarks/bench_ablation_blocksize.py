@@ -1,0 +1,85 @@
+"""Ablation (paper §7 future work) — L1 block size vs WEC benefit.
+
+Larger L1 blocks capture more spatial locality per fill (fewer stream
+misses for both schemes to cover) but make each WEC entry larger and
+each next-line prefetch farther-reaching.  The paper defers block size
+to future work; this bench reports the trade-off at 32/64/128 bytes
+(the L2 block stays at 128B, the paper's value).
+"""
+
+from __future__ import annotations
+
+from repro import CacheConfig, named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+BLOCKS = (32, 64, 128)
+
+
+def _sweep():
+    grid = {}
+    for bs in BLOCKS:
+        l1 = CacheConfig(size=8 * 1024, assoc=1, block_size=bs, name="l1d")
+        for bench in BENCH_ORDER:
+            grid[(bench, f"orig/{bs}")] = run(bench, named_config("orig", l1d=l1))
+            grid[(bench, f"wec/{bs}")] = run(
+                bench, named_config("wth-wp-wec", l1d=l1)
+            )
+            grid[(bench, f"nlp/{bs}")] = run(bench, named_config("nlp", l1d=l1))
+    return grid
+
+
+def test_ablation_block_size(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Ablation — speedup vs same-block-size orig (%)",
+        ["benchmark"]
+        + [f"wec/{bs}B" for bs in BLOCKS]
+        + [f"nlp/{bs}B" for bs in BLOCKS],
+    )
+    for b in BENCH_ORDER:
+        row = [b]
+        for fam in ("wec", "nlp"):
+            for bs in BLOCKS:
+                base = grid[(b, f"orig/{bs}")]
+                row.append(
+                    f"{grid[(b, f'{fam}/{bs}')].relative_speedup_pct_vs(base):+.1f}"
+                )
+        table.add_row(row)
+    avg = {}
+    for fam in ("wec", "nlp"):
+        for bs in BLOCKS:
+            sub = {
+                (b, l): r
+                for (b, l), r in grid.items()
+                if l in (f"orig/{bs}", f"{fam}/{bs}")
+            }
+            avg[(fam, bs)] = suite_average_speedup_pct(sub, f"orig/{bs}", f"{fam}/{bs}")
+    table.add_row(
+        ["average"]
+        + [f"{avg[(f, bs)]:+.1f}" for f in ("wec", "nlp") for bs in BLOCKS]
+    )
+    print()
+    print(table)
+
+    checks = ShapeChecks("Ablation: block size")
+    checks.check(
+        "WEC helps at every block size",
+        all(avg[("wec", bs)] > 2.0 for bs in BLOCKS),
+        str({bs: round(avg[("wec", bs)], 1) for bs in BLOCKS}),
+    )
+    checks.check(
+        "WEC beats nlp at every block size",
+        all(avg[("wec", bs)] > avg[("nlp", bs)] for bs in BLOCKS),
+    )
+    checks.check(
+        "baseline benefits from larger blocks (spatial locality)",
+        all(
+            grid[(b, "orig/128")].total_cycles <= grid[(b, "orig/32")].total_cycles
+            for b in BENCH_ORDER
+        ),
+    )
+    checks.assert_all(tolerate=1)

@@ -1,0 +1,88 @@
+"""Ablation (paper §7 future work) — branch prediction accuracy vs WEC.
+
+Wrong-path prefetching is *fed by mispredictions*: a better predictor
+means fewer wrong-path episodes and therefore less indirect
+prefetching, but also fewer pipeline refills.  The paper defers "the
+relationship of the branch prediction accuracy to the performance of
+the WEC" to future work; this bench sweeps the predictor kind and
+reports both the misprediction rate and the WEC's benefit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.common.config import BranchPredictorConfig
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+KINDS = ("bimodal", "gshare", "twolevel", "combining")
+
+
+def _with_predictor(cfg, kind):
+    tu = dataclasses.replace(cfg.tu, branch=BranchPredictorConfig(kind=kind))
+    return dataclasses.replace(cfg, tu=tu)
+
+
+def _sweep():
+    grid = {}
+    for kind in KINDS:
+        for bench in BENCH_ORDER:
+            grid[(bench, f"orig/{kind}")] = run(
+                bench, _with_predictor(named_config("orig"), kind)
+            )
+            grid[(bench, f"wec/{kind}")] = run(
+                bench, _with_predictor(named_config("wth-wp-wec"), kind)
+            )
+    return grid
+
+
+def test_ablation_branch_predictor(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Ablation — predictor kind: mispredict rate (orig) and WEC speedup",
+        ["predictor", "mispredict rate", "wrong loads (wec)", "wec speedup"],
+    )
+    avg = {}
+    mr = {}
+    wl = {}
+    for kind in KINDS:
+        sub = {
+            (b, l): r
+            for (b, l), r in grid.items()
+            if l in (f"orig/{kind}", f"wec/{kind}")
+        }
+        avg[kind] = suite_average_speedup_pct(sub, f"orig/{kind}", f"wec/{kind}")
+        mr[kind] = sum(
+            grid[(b, f"orig/{kind}")].mispredicts for b in BENCH_ORDER
+        ) / sum(grid[(b, f"orig/{kind}")].branches for b in BENCH_ORDER)
+        wl[kind] = sum(grid[(b, f"wec/{kind}")].wrong_loads for b in BENCH_ORDER)
+        table.add_row(
+            [kind, f"{mr[kind]:.1%}", wl[kind], f"{avg[kind]:+.1f}%"]
+        )
+    print()
+    print(table)
+
+    checks = ShapeChecks("Ablation: branch predictor")
+    checks.check(
+        "the WEC helps under every predictor",
+        all(avg[k] > 2.0 for k in KINDS),
+        str({k: round(avg[k], 1) for k in KINDS}),
+    )
+    checks.check(
+        "more mispredictions produce more wrong-path loads",
+        wl[max(KINDS, key=lambda k: mr[k])] >= wl[min(KINDS, key=lambda k: mr[k])],
+        str({k: (round(mr[k] * 100, 1), wl[k]) for k in KINDS}),
+    )
+    spread = max(avg.values()) - min(avg.values())
+    checks.check(
+        "the WEC benefit is robust to the predictor choice (within a "
+        "few points)",
+        spread < 6.0,
+        f"spread {spread:.1f} points",
+    )
+    checks.assert_all()

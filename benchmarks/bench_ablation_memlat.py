@@ -1,0 +1,98 @@
+"""Ablation (paper §7 future work) — memory latency vs WEC benefit.
+
+The paper's conclusion explicitly defers "the effects of memory
+latency" to future work.  Mechanistically, the WEC's value comes from
+converting correct-path misses into (cheap) WEC hits, so its benefit
+should *grow* with the round-trip memory latency — there is more
+latency to hide — while the baseline slows down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.common.config import MemorySystemConfig
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+LATENCIES = (100, 200, 400)
+
+
+def _with_latency(cfg, latency):
+    return dataclasses.replace(
+        cfg, mem=MemorySystemConfig(l2=cfg.mem.l2, memory_latency=latency)
+    )
+
+
+def _sweep():
+    grid = {}
+    for lat in LATENCIES:
+        for bench in BENCH_ORDER:
+            grid[(bench, f"orig/{lat}")] = run(
+                bench, _with_latency(named_config("orig"), lat)
+            )
+            grid[(bench, f"wec/{lat}")] = run(
+                bench, _with_latency(named_config("wth-wp-wec"), lat)
+            )
+    return grid
+
+
+def test_ablation_memory_latency(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Ablation — WEC speedup vs memory round-trip latency (%)",
+        ["benchmark"] + [f"{lat} cycles" for lat in LATENCIES],
+    )
+    for b in BENCH_ORDER:
+        table.add_row(
+            [b]
+            + [
+                f"{grid[(b, f'wec/{lat}')].relative_speedup_pct_vs(grid[(b, f'orig/{lat}')]):+.1f}"
+                for lat in LATENCIES
+            ]
+        )
+    avg = {
+        lat: suite_average_speedup_pct(
+            {
+                (b, l): r
+                for (b, l), r in grid.items()
+                if l in (f"orig/{lat}", f"wec/{lat}")
+            },
+            f"orig/{lat}",
+            f"wec/{lat}",
+        )
+        for lat in LATENCIES
+    }
+    table.add_row(["average"] + [f"{avg[lat]:+.1f}" for lat in LATENCIES])
+    print()
+    print(table)
+
+    checks = ShapeChecks("Ablation: memory latency")
+    checks.check(
+        "WEC benefit grows with memory latency",
+        avg[400] > avg[100],
+        f"100cy {avg[100]:+.1f}% vs 400cy {avg[400]:+.1f}%",
+    )
+    checks.check(
+        "longer latency slows the baseline",
+        all(
+            grid[(b, "orig/400")].total_cycles > grid[(b, "orig/100")].total_cycles
+            for b in BENCH_ORDER
+        ),
+    )
+    mcf_gains = [
+        grid[("181.mcf", f"wec/{lat}")].relative_speedup_pct_vs(
+            grid[("181.mcf", f"orig/{lat}")]
+        )
+        for lat in LATENCIES
+    ]
+    checks.check(
+        "mcf's WEC gain grows monotonically with latency",
+        mcf_gains[0] < mcf_gains[1] < mcf_gains[2],
+        str([round(g, 1) for g in mcf_gains]),
+    )
+    checks.assert_all()

@@ -1,0 +1,82 @@
+"""Ablation (beyond the paper) — decomposing the WEC's benefit channels.
+
+The full ``wth-wp-wec`` configuration mixes three mechanisms:
+
+1. wrong-**path** prefetching (loads past resolved mispredictions),
+2. wrong-**thread** prefetching (aborted threads running on),
+3. plain **victim caching** (L1 evictions parked beside the cache).
+
+This bench runs each channel in isolation (``wp-wec``, ``wth-wec``,
+``wec-victim-only``) and the full combination, answering which channel
+carries which benchmark — e.g. mcf should be wrong-path-dominated
+(valid chase-ahead), while victim caching alone should behave like the
+paper's ``vc`` configuration.
+"""
+
+from __future__ import annotations
+
+from repro import named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+CHANNELS = ("wec-victim-only", "wth-wec", "wp-wec", "wth-wp-wec")
+
+
+def _sweep():
+    grid = {}
+    for bench in BENCH_ORDER:
+        grid[(bench, "orig")] = run(bench, named_config("orig"))
+        for name in CHANNELS:
+            grid[(bench, name)] = run(bench, named_config(name))
+    return grid
+
+
+def test_ablation_wec_channels(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Ablation — WEC channel decomposition (speedup vs orig, %)",
+        ["benchmark"] + list(CHANNELS),
+    )
+    pct = {}
+    for b in BENCH_ORDER:
+        base = grid[(b, "orig")]
+        row = [b]
+        for name in CHANNELS:
+            v = grid[(b, name)].relative_speedup_pct_vs(base)
+            pct[(b, name)] = v
+            row.append(f"{v:+.1f}")
+        table.add_row(row)
+    avg = {name: suite_average_speedup_pct(grid, "orig", name) for name in CHANNELS}
+    table.add_row(["average"] + [f"{avg[name]:+.1f}" for name in CHANNELS])
+    print()
+    print(table)
+
+    checks = ShapeChecks("Ablation: WEC channels")
+    checks.check(
+        "the full combination beats every single channel on average",
+        all(avg["wth-wp-wec"] >= avg[c] for c in CHANNELS),
+        str({c: round(avg[c], 1) for c in CHANNELS}),
+    )
+    checks.check(
+        "victim caching alone is the weakest channel",
+        avg["wec-victim-only"] == min(avg.values()),
+    )
+    checks.check(
+        "wrong-path is the dominant channel for mcf (valid chase-ahead)",
+        pct[("181.mcf", "wp-wec")] > pct[("181.mcf", "wth-wec")],
+        f"wp {pct[('181.mcf', 'wp-wec')]:+.1f}% vs "
+        f"wth {pct[('181.mcf', 'wth-wec')]:+.1f}%",
+    )
+    checks.check(
+        "every channel is non-negative on average",
+        all(avg[c] > -0.5 for c in CHANNELS),
+    )
+    checks.check(
+        "channels overlap (sum of parts exceeds the whole)",
+        avg["wp-wec"] + avg["wth-wec"] + avg["wec-victim-only"]
+        > avg["wth-wp-wec"] * 0.8,
+    )
+    checks.assert_all(tolerate=1)

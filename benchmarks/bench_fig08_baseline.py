@@ -1,0 +1,94 @@
+"""Figure 8 — baseline STA performance on the parallelized portions.
+
+Table 3 design points (total parallelism fixed at 16 = #TUs × issue):
+speedup of the parallelized loop regions relative to a single-thread,
+single-issue processor.  Paper shapes: 164.gzip shows near-linear
+thread-level speedup (~14x at 16 TUs, under 4x for the 1-TU 16-issue
+core); 175.vpr is ILP-rich and TLP-poor (speedup *decreases* as TUs
+increase); on average thread-level parallelization beats pure
+instruction-level parallelization.
+"""
+
+from __future__ import annotations
+
+from repro import table3_config
+from repro.analysis.plots import grouped_bar_chart
+from repro.common.stats import arithmetic_mean
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+TU_POINTS = (1, 2, 4, 8, 16)
+
+
+def _sweep():
+    base_cfg = table3_config(1, single_issue_baseline=True)
+    speedups = {}
+    for bench in BENCH_ORDER:
+        base = run(bench, base_cfg)
+        speedups[bench] = {
+            n: run(bench, table3_config(n)).parallel_speedup_vs(base)
+            for n in TU_POINTS
+        }
+    return speedups
+
+
+def test_fig08_baseline_parallelism(benchmark):
+    speedups = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Figure 8 — parallel-portion speedup vs 1TU x 1-issue "
+        "(total parallelism = 16)",
+        ["benchmark"] + [f"{n}TU x {16 // n}w" for n in TU_POINTS],
+    )
+    for bench in BENCH_ORDER:
+        table.add_row([bench] + [f"{speedups[bench][n]:.2f}" for n in TU_POINTS])
+    avg = {
+        n: arithmetic_mean([speedups[b][n] for b in BENCH_ORDER])
+        for n in TU_POINTS
+    }
+    table.add_row(["average"] + [f"{avg[n]:.2f}" for n in TU_POINTS])
+    print()
+    print(table)
+    print()
+    print(
+        grouped_bar_chart(
+            "Figure 8 (bars: speedup x)",
+            list(BENCH_ORDER),
+            {f"{n}TU": {b: speedups[b][n] for b in BENCH_ORDER} for n in TU_POINTS},
+            unit="x",
+        )
+    )
+
+    checks = ShapeChecks("Figure 8")
+    gz = speedups["164.gzip"]
+    checks.check(
+        "gzip: 16 TUs give high thread-level speedup (paper ~14x)",
+        gz[16] > 8.0,
+        f"measured {gz[16]:.1f}x",
+    )
+    checks.check(
+        "gzip: 16TUx1w far exceeds 1TUx16w (paper: 14x vs <4x)",
+        gz[16] > 1.5 * gz[1],
+        f"{gz[16]:.1f}x vs {gz[1]:.1f}x",
+    )
+    vpr = speedups["175.vpr"]
+    checks.check(
+        "vpr: ILP-dominated — speedup falls as TUs rise past 2",
+        vpr[2] > vpr[4] > vpr[8] > vpr[16],
+        f"{[round(vpr[n], 1) for n in TU_POINTS]}",
+    )
+    checks.check(
+        "vpr: the wide core beats the 16-TU machine",
+        vpr[1] > vpr[16],
+    )
+    checks.check(
+        "average: thread-level parallelization beats pure ILP",
+        avg[16] > avg[1],
+        f"{avg[16]:.1f}x vs {avg[1]:.1f}x",
+    )
+    checks.check(
+        "all speedups exceed the single-issue baseline",
+        all(s > 1.0 for per in speedups.values() for s in per.values()),
+    )
+    checks.assert_all()

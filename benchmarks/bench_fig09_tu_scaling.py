@@ -1,0 +1,90 @@
+"""Figure 9 — whole-program wth-wp-wec speedup vs a 1-TU baseline.
+
+Speedup of the full benchmark (not just the parallel loops) for the
+``wth-wp-wec`` configuration with 1–16 thread units, relative to the
+1-TU ``orig`` superthreaded processor.  Paper shapes: up to ~39%
+(183.equake); a 2-TU wth-wp-wec typically beats a 16-TU ``orig``; even
+the single-TU wth-wp-wec improves on the baseline (wrong-path-only
+prefetching, up to ~10% for equake); 175.vpr gains little from more TUs.
+"""
+
+from __future__ import annotations
+
+from repro import named_config
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+TU_POINTS = (1, 2, 4, 8, 16)
+
+
+def _sweep():
+    out = {}
+    for bench in BENCH_ORDER:
+        base = run(bench, named_config("orig", n_tus=1))
+        out[bench] = {
+            "orig": {
+                n: run(bench, named_config("orig", n_tus=n)).relative_speedup_pct_vs(base)
+                for n in TU_POINTS
+            },
+            "wec": {
+                n: run(bench, named_config("wth-wp-wec", n_tus=n)).relative_speedup_pct_vs(base)
+                for n in TU_POINTS
+            },
+        }
+    return out
+
+
+def test_fig09_whole_program_scaling(benchmark):
+    data = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Figure 9 — whole-program speedup vs 1-TU orig (%)",
+        ["benchmark"]
+        + [f"orig {n}TU" for n in TU_POINTS]
+        + [f"wec {n}TU" for n in TU_POINTS],
+    )
+    for bench in BENCH_ORDER:
+        table.add_row(
+            [bench]
+            + [f"{data[bench]['orig'][n]:+.1f}" for n in TU_POINTS]
+            + [f"{data[bench]['wec'][n]:+.1f}" for n in TU_POINTS]
+        )
+    print()
+    print(table)
+
+    checks = ShapeChecks("Figure 9")
+    checks.check(
+        "single-TU wth-wp-wec already improves on orig (wrong-path only)",
+        all(data[b]["wec"][1] > 0.0 for b in BENCH_ORDER),
+        str({b: round(data[b]["wec"][1], 1) for b in BENCH_ORDER}),
+    )
+    beats = sum(
+        data[b]["wec"][2] > data[b]["orig"][16] for b in BENCH_ORDER
+    )
+    checks.check(
+        "2-TU wth-wp-wec beats 16-TU orig for most benchmarks",
+        beats >= 4,
+        f"{beats}/6 benchmarks",
+    )
+    checks.check(
+        "wec consistently above orig at every TU count",
+        all(
+            data[b]["wec"][n] > data[b]["orig"][n]
+            for b in BENCH_ORDER
+            for n in TU_POINTS
+        ),
+    )
+    best = max(data[b]["wec"][n] for b in BENCH_ORDER for n in TU_POINTS)
+    checks.check(
+        "peak whole-program gain is large (paper: 39.2% for equake)",
+        best > 15.0,
+        f"best {best:.1f}%",
+    )
+    vpr_gain = data["175.vpr"]["orig"][8]
+    checks.check(
+        "vpr gains little from parallel execution (paper: slows down)",
+        vpr_gain < 8.0,
+        f"vpr orig 8TU vs 1TU: {vpr_gain:+.1f}%",
+    )
+    checks.assert_all(tolerate=1)

@@ -1,0 +1,73 @@
+"""Figure 10 — wth-wp-wec speedup on top of same-width parallel execution.
+
+For each TU count, the ``wth-wp-wec`` machine is compared against the
+``orig`` machine with the *same* number of TUs, isolating the WEC's
+contribution from thread-level parallelism.  Paper shapes: the benefit
+*grows* with the number of threads (more wrong threads → more wrong
+loads → more indirect prefetching; e.g. 181.mcf: 6.2% at 1 TU rising to
+20.2% at 16 TUs), then levels off once WEC+L1 capacity covers the
+footprint.
+"""
+
+from __future__ import annotations
+
+from repro import named_config
+from repro.analysis.plots import grouped_bar_chart
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+TU_POINTS = (1, 2, 4, 8, 16)
+
+
+def _sweep():
+    out = {}
+    for bench in BENCH_ORDER:
+        out[bench] = {}
+        for n in TU_POINTS:
+            base = run(bench, named_config("orig", n_tus=n))
+            wec = run(bench, named_config("wth-wp-wec", n_tus=n))
+            out[bench][n] = wec.relative_speedup_pct_vs(base)
+    return out
+
+
+def test_fig10_wec_on_top_of_parallel(benchmark):
+    data = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Figure 10 — wth-wp-wec speedup vs same-TU-count orig (%)",
+        ["benchmark"] + [f"{n}TU" for n in TU_POINTS],
+    )
+    for bench in BENCH_ORDER:
+        table.add_row([bench] + [f"{data[bench][n]:+.1f}" for n in TU_POINTS])
+    print()
+    print(table)
+    print()
+    print(
+        grouped_bar_chart(
+            "Figure 10 (bars: % over same-width orig)",
+            list(BENCH_ORDER),
+            {f"{n}TU": {b: data[b][n] for b in BENCH_ORDER} for n in TU_POINTS},
+        )
+    )
+
+    checks = ShapeChecks("Figure 10")
+    checks.check(
+        "WEC helps at every TU count for every benchmark",
+        all(v > 0 for per in data.values() for v in per.values()),
+    )
+    grows = sum(data[b][16] > data[b][1] for b in BENCH_ORDER)
+    checks.check(
+        "benefit grows from 1 TU to 16 TUs for most benchmarks "
+        "(wrong threads add prefetching)",
+        grows >= 4,
+        f"{grows}/6 grow",
+    )
+    mcf = data["181.mcf"]
+    checks.check(
+        "mcf: multi-TU benefit exceeds the single-TU benefit "
+        "(paper: 6.2% -> 20.2%)",
+        mcf[16] > mcf[1],
+        f"{mcf[1]:.1f}% -> {mcf[16]:.1f}%",
+    )
+    checks.assert_all(tolerate=1)

@@ -1,0 +1,107 @@
+"""Figure 11 — relative speedups of all eight configurations (8 TUs).
+
+The paper's headline figure: with eight 8-issue thread units,
+``wth-wp-wec`` achieves up to 18.5% (181.mcf) and 9.7% on average over
+``orig``; conventional next-line prefetching (``nlp``) averages 5.5%;
+wrong execution *without* the WEC (``wp``, ``wth``, ``wth-wp``) gives
+almost nothing (pollution offsets prefetching — 177.mesa even slows
+down slightly); the victim-cache variants sit in between.
+"""
+
+from __future__ import annotations
+
+from repro import CONFIG_NAMES, named_config
+from repro.analysis.plots import grouped_bar_chart
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+NON_BASE = [c for c in CONFIG_NAMES if c != "orig"]
+
+
+def _sweep():
+    grid = {}
+    for bench in BENCH_ORDER:
+        for cfg_name in CONFIG_NAMES:
+            grid[(bench, cfg_name)] = run(bench, named_config(cfg_name))
+    return grid
+
+
+def test_fig11_configuration_speedups(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    pct = {
+        (b, c): grid[(b, c)].relative_speedup_pct_vs(grid[(b, "orig")])
+        for b in BENCH_ORDER
+        for c in NON_BASE
+    }
+    avg = {c: suite_average_speedup_pct(grid, "orig", c) for c in NON_BASE}
+
+    table = TextTable(
+        "Figure 11 — relative speedup vs orig, 8 TUs (%)",
+        ["benchmark"] + NON_BASE,
+    )
+    for b in BENCH_ORDER:
+        table.add_row([b] + [f"{pct[(b, c)]:+.1f}" for c in NON_BASE])
+    table.add_row(["average"] + [f"{avg[c]:+.1f}" for c in NON_BASE])
+    print()
+    print(table)
+    print()
+    print(
+        grouped_bar_chart(
+            "Figure 11 (bars: % speedup vs orig)",
+            list(BENCH_ORDER) + ["average"],
+            {
+                c: {**{b: pct[(b, c)] for b in BENCH_ORDER}, "average": avg[c]}
+                for c in ("wth-wp", "wth-wp-vc", "wth-wp-wec", "nlp")
+            },
+        )
+    )
+
+    checks = ShapeChecks("Figure 11")
+    checks.check(
+        "wth-wp-wec gives the greatest average speedup of all configs",
+        avg["wth-wp-wec"] == max(avg.values()),
+        f"wec {avg['wth-wp-wec']:+.1f}%",
+    )
+    checks.check(
+        "average wec speedup near the paper's 9.7%",
+        6.0 < avg["wth-wp-wec"] < 14.0,
+        f"{avg['wth-wp-wec']:+.1f}% (paper +9.7%)",
+    )
+    checks.check(
+        "mcf shows the largest wec gain (paper 18.5%)",
+        max(BENCH_ORDER, key=lambda b: pct[(b, "wth-wp-wec")]) == "181.mcf",
+        f"mcf {pct[('181.mcf', 'wth-wp-wec')]:+.1f}%",
+    )
+    checks.check(
+        "mcf wec gain near the paper's 18.5%",
+        13.0 < pct[("181.mcf", "wth-wp-wec")] < 26.0,
+    )
+    checks.check(
+        "nlp averages roughly half of wec (paper 5.5% vs 9.7%)",
+        avg["nlp"] < avg["wth-wp-wec"]
+        and 2.5 < avg["nlp"] < 9.0,
+        f"nlp {avg['nlp']:+.1f}%",
+    )
+    checks.check(
+        "wrong execution alone (wp / wth / wth-wp) gives little benefit",
+        all(abs(avg[c]) < 3.0 for c in ("wp", "wth", "wth-wp")),
+        str({c: round(avg[c], 1) for c in ("wp", "wth", "wth-wp")}),
+    )
+    checks.check(
+        "wth-wp-wec beats wth-wp-vc everywhere (WEC > victim cache)",
+        all(pct[(b, "wth-wp-wec")] > pct[(b, "wth-wp-vc")] for b in BENCH_ORDER),
+    )
+    checks.check(
+        "plain victim cache is a small effect",
+        0.0 <= avg["vc"] < 3.0,
+        f"vc {avg['vc']:+.1f}%",
+    )
+    checks.check(
+        "nlp is weakest on the pointer-chasing benchmark (mcf)",
+        pct[("181.mcf", "nlp")] == min(pct[(b, "nlp")] for b in BENCH_ORDER),
+        f"mcf nlp {pct[('181.mcf', 'nlp')]:+.1f}%",
+    )
+    checks.assert_all(tolerate=1)

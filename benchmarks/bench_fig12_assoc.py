@@ -1,0 +1,96 @@
+"""Figure 12 — sensitivity to L1 data-cache associativity.
+
+Direct-mapped vs 4-way L1, each compared against the matching ``orig``:
+increasing associativity removes the conflict misses a victim cache
+fixes, so the ``vc`` speedup largely disappears, while ``wth-wp-wec``
+still provides significant speedup (its prefetching effect does not
+depend on conflicts) and keeps beating ``wth-wp-vc``.
+"""
+
+from __future__ import annotations
+
+from repro import CacheConfig, named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+CONFIGS = ("vc", "wth-wp-vc", "wth-wp-wec")
+
+
+def _sweep():
+    grid = {}
+    for assoc in (1, 4):
+        l1 = CacheConfig(size=8 * 1024, assoc=assoc, block_size=64, name="l1d")
+        for bench in BENCH_ORDER:
+            grid[(bench, f"orig/{assoc}w")] = run(
+                bench, named_config("orig", l1d=l1)
+            )
+            for cfg in CONFIGS:
+                grid[(bench, f"{cfg}/{assoc}w")] = run(
+                    bench, named_config(cfg, l1d=l1)
+                )
+    return grid
+
+
+def test_fig12_l1_associativity(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    cols = [f"{c}/{a}w" for a in (1, 4) for c in CONFIGS]
+    table = TextTable(
+        "Figure 12 — speedup vs same-associativity orig (%)",
+        ["benchmark"] + cols,
+    )
+    pct = {}
+    for b in BENCH_ORDER:
+        row = [b]
+        for a in (1, 4):
+            base = grid[(b, f"orig/{a}w")]
+            for c in CONFIGS:
+                v = grid[(b, f"{c}/{a}w")].relative_speedup_pct_vs(base)
+                pct[(b, c, a)] = v
+                row.append(f"{v:+.1f}")
+        # reorder row to match cols (1-way triple then 4-way triple)
+        table.add_row(row)
+    avg = {
+        (c, a): suite_average_speedup_pct(
+            {
+                (b, lbl): r
+                for (b, lbl), r in grid.items()
+                if lbl in (f"orig/{a}w", f"{c}/{a}w")
+            },
+            f"orig/{a}w",
+            f"{c}/{a}w",
+        )
+        for c in CONFIGS
+        for a in (1, 4)
+    }
+    table.add_row(
+        ["average"] + [f"{avg[(c, a)]:+.1f}" for a in (1, 4) for c in CONFIGS]
+    )
+    print()
+    print(table)
+
+    checks = ShapeChecks("Figure 12")
+    checks.check(
+        "victim-cache speedup shrinks at 4-way (paper: disappears)",
+        avg[("vc", 4)] < avg[("vc", 1)],
+        f"{avg[('vc', 1)]:+.1f}% -> {avg[('vc', 4)]:+.1f}%",
+    )
+    checks.check(
+        "vc speedup at 4-way is negligible",
+        avg[("vc", 4)] < 1.5,
+    )
+    checks.check(
+        "wth-wp-wec still significant at 4-way",
+        avg[("wth-wp-wec", 4)] > 4.0,
+        f"{avg[('wth-wp-wec', 4)]:+.1f}%",
+    )
+    checks.check(
+        "wth-wp-wec substantially outperforms wth-wp-vc at both assocs",
+        all(
+            avg[("wth-wp-wec", a)] > avg[("wth-wp-vc", a)] + 2.0
+            for a in (1, 4)
+        ),
+    )
+    checks.assert_all()

@@ -1,0 +1,91 @@
+"""Figure 13 — sensitivity to L1 data-cache size (4K–32K).
+
+Normalized execution time of ``orig`` and ``wth-wp-wec`` as the L1 size
+doubles (WEC fixed at 8 entries).  Paper shapes: the WEC's relative
+benefit shrinks as the L1 grows; an 8-entry WEC with an 8K L1 beats the
+baseline with a doubled (16K) L1; on average the WEC with a 4K L1 beats
+the baseline with a 32K L1 — chip area spent on a WEC beats area spent
+on L1 capacity.
+"""
+
+from __future__ import annotations
+
+from repro import CacheConfig, named_config
+from repro.common.stats import arithmetic_mean
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+SIZES = (4, 8, 16, 32)
+
+
+def _sweep():
+    grid = {}
+    for kb in SIZES:
+        l1 = CacheConfig(size=kb * 1024, assoc=1, block_size=64, name="l1d")
+        for bench in BENCH_ORDER:
+            grid[(bench, f"orig/{kb}k")] = run(bench, named_config("orig", l1d=l1))
+            grid[(bench, f"wec/{kb}k")] = run(
+                bench, named_config("wth-wp-wec", l1d=l1)
+            )
+    return grid
+
+
+def test_fig13_l1_size(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    cols = [f"orig {kb}k" for kb in SIZES] + [f"wec {kb}k" for kb in SIZES]
+    table = TextTable(
+        "Figure 13 — execution time normalized to orig/4k",
+        ["benchmark"] + cols,
+    )
+    norm = {}
+    for b in BENCH_ORDER:
+        base = grid[(b, "orig/4k")]
+        row = [b]
+        for prefix in ("orig", "wec"):
+            for kb in SIZES:
+                v = grid[(b, f"{prefix}/{kb}k")].normalized_time_vs(base)
+                norm[(b, prefix, kb)] = v
+                row.append(f"{v:.3f}")
+        table.add_row(row)
+    avg = {
+        (p, kb): arithmetic_mean([norm[(b, p, kb)] for b in BENCH_ORDER])
+        for p in ("orig", "wec")
+        for kb in SIZES
+    }
+    table.add_row(
+        ["average"]
+        + [f"{avg[(p, kb)]:.3f}" for p in ("orig", "wec") for kb in SIZES]
+    )
+    print()
+    print(table)
+
+    checks = ShapeChecks("Figure 13")
+    gain = {
+        kb: (avg[("orig", kb)] - avg[("wec", kb)]) / avg[("orig", kb)] * 100
+        for kb in SIZES
+    }
+    checks.check(
+        "WEC's relative benefit shrinks as the L1 grows",
+        gain[4] > gain[32],
+        f"4k {gain[4]:.1f}% vs 32k {gain[32]:.1f}%",
+    )
+    beats_double = sum(
+        norm[(b, "wec", 8)] < norm[(b, "orig", 16)] for b in BENCH_ORDER
+    )
+    checks.check(
+        "wec+8k L1 beats orig with a doubled (16k) L1 for all benchmarks",
+        beats_double == len(BENCH_ORDER),
+        f"{beats_double}/6",
+    )
+    checks.check(
+        "on average wec+4k beats orig+32k (WEC is better use of area)",
+        avg[("wec", 4)] < avg[("orig", 32)],
+        f"{avg[('wec', 4)]:.3f} vs {avg[('orig', 32)]:.3f}",
+    )
+    checks.check(
+        "bigger L1 monotonically helps orig on average",
+        avg[("orig", 4)] > avg[("orig", 8)] > avg[("orig", 16)] > avg[("orig", 32)],
+    )
+    checks.assert_all(tolerate=1)

@@ -1,0 +1,86 @@
+"""Figure 14 — sensitivity to the shared L2 cache size (128K–512K).
+
+Both ``orig`` and ``wth-wp-wec`` improve with a larger L2, but the
+WEC's *relative* advantage shrinks: a WEC hit hides more latency when
+the block would otherwise come from memory than when it would come from
+the L2, and a larger L2 converts memory misses into L2 hits.
+"""
+
+from __future__ import annotations
+
+from repro import CacheConfig, named_config
+from repro.common.stats import arithmetic_mean
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+L2_SIZES = (128, 256, 512)
+
+
+def _sweep():
+    grid = {}
+    for kb in L2_SIZES:
+        l2 = CacheConfig(size=kb * 1024, assoc=4, block_size=128,
+                         hit_latency=12, name="l2")
+        for bench in BENCH_ORDER:
+            grid[(bench, f"orig/{kb}k")] = run(bench, named_config("orig", l2=l2))
+            grid[(bench, f"wec/{kb}k")] = run(
+                bench, named_config("wth-wp-wec", l2=l2)
+            )
+    return grid
+
+
+def test_fig14_l2_size(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Figure 14 — execution time normalized to orig/128k",
+        ["benchmark"]
+        + [f"orig {kb}k" for kb in L2_SIZES]
+        + [f"wec {kb}k" for kb in L2_SIZES],
+    )
+    norm = {}
+    for b in BENCH_ORDER:
+        base = grid[(b, "orig/128k")]
+        row = [b]
+        for prefix in ("orig", "wec"):
+            for kb in L2_SIZES:
+                v = grid[(b, f"{prefix}/{kb}k")].normalized_time_vs(base)
+                norm[(b, prefix, kb)] = v
+                row.append(f"{v:.3f}")
+        table.add_row(row)
+    avg = {
+        (p, kb): arithmetic_mean([norm[(b, p, kb)] for b in BENCH_ORDER])
+        for p in ("orig", "wec")
+        for kb in L2_SIZES
+    }
+    table.add_row(
+        ["average"]
+        + [f"{avg[(p, kb)]:.3f}" for p in ("orig", "wec") for kb in L2_SIZES]
+    )
+    print()
+    print(table)
+
+    checks = ShapeChecks("Figure 14")
+    checks.check(
+        "larger L2 helps orig on average",
+        avg[("orig", 128)] >= avg[("orig", 256)] >= avg[("orig", 512)],
+    )
+    checks.check(
+        "larger L2 helps wec on average",
+        avg[("wec", 128)] >= avg[("wec", 256)] >= avg[("wec", 512)],
+    )
+    gain = {
+        kb: (avg[("orig", kb)] - avg[("wec", kb)]) / avg[("orig", kb)] * 100
+        for kb in L2_SIZES
+    }
+    checks.check(
+        "the WEC's relative advantage shrinks as the L2 grows",
+        gain[128] > gain[512],
+        f"128k {gain[128]:.1f}% vs 512k {gain[512]:.1f}%",
+    )
+    checks.check(
+        "wec beats orig at every L2 size",
+        all(avg[("wec", kb)] < avg[("orig", kb)] for kb in L2_SIZES),
+    )
+    checks.assert_all(tolerate=1)

@@ -1,0 +1,82 @@
+"""Figure 15 — WEC size (4/8/16 entries) vs victim caches.
+
+Paper shapes: ``wth-wp-vc`` with only 4 entries outperforms ``vc`` with
+16 (wrong execution adds value beyond victim caching); replacing the
+victim cache with a WEC of the *same* size wins again — a 4-entry WEC
+(``wth-wp-wec 4``) beats a 16-entry victim cache with wrong execution
+(``wth-wp-vc 16``); bigger WECs help monotonically (roughly).
+"""
+
+from __future__ import annotations
+
+from repro import named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+ENTRIES = (4, 8, 16)
+FAMILIES = ("vc", "wth-wp-vc", "wth-wp-wec")
+
+
+def _sweep():
+    grid = {}
+    for bench in BENCH_ORDER:
+        grid[(bench, "orig")] = run(bench, named_config("orig"))
+        for fam in FAMILIES:
+            for n in ENTRIES:
+                grid[(bench, f"{fam} {n}")] = run(
+                    bench, named_config(fam, sidecar_entries=n)
+                )
+    return grid
+
+
+def test_fig15_wec_size_vs_victim_cache(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    labels = [f"{fam} {n}" for fam in FAMILIES for n in ENTRIES]
+    table = TextTable(
+        "Figure 15 — speedup vs orig for sidecar sizes 4/8/16 (%)",
+        ["benchmark"] + labels,
+    )
+    for b in BENCH_ORDER:
+        base = grid[(b, "orig")]
+        table.add_row(
+            [b]
+            + [
+                f"{grid[(b, lbl)].relative_speedup_pct_vs(base):+.1f}"
+                for lbl in labels
+            ]
+        )
+    avg = {lbl: suite_average_speedup_pct(grid, "orig", lbl) for lbl in labels}
+    table.add_row(["average"] + [f"{avg[lbl]:+.1f}" for lbl in labels])
+    print()
+    print(table)
+
+    checks = ShapeChecks("Figure 15")
+    checks.check(
+        "wrong execution adds value over a same-size victim cache",
+        all(avg[f"wth-wp-vc {n}"] > avg[f"vc {n}"] for n in ENTRIES),
+        str({n: round(avg[f'wth-wp-vc {n}'] - avg[f'vc {n}'], 2) for n in ENTRIES}),
+    )
+    checks.check(
+        "wth-wp-vc 4 at least approaches plain vc 16 "
+        "(paper: outperforms; our contention model nets wrong execution "
+        "without a WEC to ~0, see EXPERIMENTS.md)",
+        avg["wth-wp-vc 4"] > avg["vc 16"] - 1.0,
+        f"{avg['wth-wp-vc 4']:+.1f}% vs {avg['vc 16']:+.1f}%",
+    )
+    checks.check(
+        "a 4-entry WEC beats a 16-entry victim cache with wrong execution",
+        avg["wth-wp-wec 4"] > avg["wth-wp-vc 16"],
+        f"{avg['wth-wp-wec 4']:+.1f}% vs {avg['wth-wp-vc 16']:+.1f}%",
+    )
+    checks.check(
+        "WEC dominates same-size victim cache at every size",
+        all(avg[f"wth-wp-wec {n}"] > avg[f"wth-wp-vc {n}"] for n in ENTRIES),
+    )
+    checks.check(
+        "bigger WEC does not hurt",
+        avg["wth-wp-wec 16"] >= avg["wth-wp-wec 4"] - 0.5,
+    )
+    checks.assert_all()

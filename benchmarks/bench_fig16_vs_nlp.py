@@ -1,0 +1,78 @@
+"""Figure 16 — WEC vs next-line tagged prefetching at matched sizes.
+
+Buffer sizes 8/16/32 for both schemes.  Paper shape: an 8-entry WEC
+(``wth-wp-wec 8``) performs substantially better than next-line
+prefetching with a 32-entry buffer (``nlp 32``) — wrong execution is the
+more efficient prefetching mechanism per entry of hardware.
+"""
+
+from __future__ import annotations
+
+from repro import named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+ENTRIES = (8, 16, 32)
+
+
+def _sweep():
+    grid = {}
+    for bench in BENCH_ORDER:
+        grid[(bench, "orig")] = run(bench, named_config("orig"))
+        for fam in ("nlp", "wth-wp-wec"):
+            for n in ENTRIES:
+                grid[(bench, f"{fam} {n}")] = run(
+                    bench, named_config(fam, sidecar_entries=n)
+                )
+    return grid
+
+
+def test_fig16_wec_vs_nlp(benchmark):
+    grid = run_once(benchmark, _sweep)
+
+    labels = [f"nlp {n}" for n in ENTRIES] + [f"wth-wp-wec {n}" for n in ENTRIES]
+    table = TextTable(
+        "Figure 16 — speedup vs orig: nlp vs wec at 8/16/32 entries (%)",
+        ["benchmark"] + labels,
+    )
+    for b in BENCH_ORDER:
+        base = grid[(b, "orig")]
+        table.add_row(
+            [b]
+            + [
+                f"{grid[(b, lbl)].relative_speedup_pct_vs(base):+.1f}"
+                for lbl in labels
+            ]
+        )
+    avg = {lbl: suite_average_speedup_pct(grid, "orig", lbl) for lbl in labels}
+    table.add_row(["average"] + [f"{avg[lbl]:+.1f}" for lbl in labels])
+    print()
+    print(table)
+
+    checks = ShapeChecks("Figure 16")
+    checks.check(
+        "an 8-entry WEC beats 32-entry next-line prefetching on average",
+        avg["wth-wp-wec 8"] > avg["nlp 32"],
+        f"{avg['wth-wp-wec 8']:+.1f}% vs {avg['nlp 32']:+.1f}%",
+    )
+    checks.check(
+        "wec beats same-size nlp at every size",
+        all(avg[f"wth-wp-wec {n}"] > avg[f"nlp {n}"] for n in ENTRIES),
+    )
+    checks.check(
+        "growing the nlp buffer yields little (paper: flat 8->32)",
+        avg["nlp 32"] - avg["nlp 8"] < 3.0,
+        f"{avg['nlp 8']:+.1f}% -> {avg['nlp 32']:+.1f}%",
+    )
+    checks.check(
+        "wec is weakest-vs-nlp gap still positive on pointer chasing",
+        grid[("181.mcf", "wth-wp-wec 8")].relative_speedup_pct_vs(
+            grid[("181.mcf", "orig")]
+        )
+        > grid[("181.mcf", "nlp 32")].relative_speedup_pct_vs(
+            grid[("181.mcf", "orig")]
+        ),
+    )
+    checks.assert_all()

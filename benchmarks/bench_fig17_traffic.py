@@ -1,0 +1,81 @@
+"""Figure 17 — L1 traffic increase and miss-count reduction.
+
+For ``wth-wp-wec`` vs ``orig`` (8 TUs): executing wrong-path and
+wrong-thread loads increases processor↔L1 data traffic (paper: up to
+~30% for 175.vpr, ~14% average) but substantially reduces the number of
+correct-path misses that must be serviced beyond the L1+WEC (paper:
+42–73%, largest for 177.mesa, least significant for 181.mcf).
+"""
+
+from __future__ import annotations
+
+from repro import named_config
+from repro.analysis.plots import bar_chart
+from repro.common.stats import arithmetic_mean
+from repro.sim.tables import TextTable
+
+from _common import BENCH_ORDER, ShapeChecks, run, run_once
+
+
+def _sweep():
+    out = {}
+    for bench in BENCH_ORDER:
+        base = run(bench, named_config("orig"))
+        wec = run(bench, named_config("wth-wp-wec"))
+        out[bench] = (
+            wec.traffic_increase_pct_vs(base),
+            wec.miss_reduction_pct_vs(base),
+        )
+    return out
+
+
+def test_fig17_traffic_and_misses(benchmark):
+    data = run_once(benchmark, _sweep)
+
+    table = TextTable(
+        "Figure 17 — wth-wp-wec vs orig: L1 traffic increase and "
+        "miss-count reduction (%)",
+        ["benchmark", "traffic increase", "miss reduction"],
+    )
+    for b in BENCH_ORDER:
+        tr, mr = data[b]
+        table.add_row([b, f"+{tr:.1f}", f"-{mr:.1f}"])
+    avg_tr = arithmetic_mean([data[b][0] for b in BENCH_ORDER])
+    avg_mr = arithmetic_mean([data[b][1] for b in BENCH_ORDER])
+    table.add_row(["average", f"+{avg_tr:.1f}", f"-{avg_mr:.1f}"])
+    print()
+    print(table)
+    print()
+    print(bar_chart("traffic increase (%)", {b: data[b][0] for b in BENCH_ORDER}))
+    print()
+    print(bar_chart("miss reduction (%)", {b: data[b][1] for b in BENCH_ORDER}))
+
+    checks = ShapeChecks("Figure 17")
+    checks.check(
+        "every benchmark pays extra L1 traffic for wrong execution",
+        all(tr > 0 for tr, _ in data.values()),
+    )
+    checks.check(
+        "every benchmark sees a significant miss reduction",
+        all(mr > 8.0 for _, mr in data.values()),
+        str({b: round(m, 1) for b, (_, m) in data.items()}),
+    )
+    checks.check(
+        "vpr has the largest traffic increase (paper: ~30%)",
+        max(BENCH_ORDER, key=lambda b: data[b][0]) in ("175.vpr", "181.mcf"),
+        f"max = {max(BENCH_ORDER, key=lambda b: data[b][0])}",
+    )
+    checks.check(
+        "mesa shows the largest miss reduction (paper: ~73%)",
+        max(BENCH_ORDER, key=lambda b: data[b][1]) == "177.mesa",
+    )
+    checks.check(
+        "mcf's miss reduction is the least significant (paper's note)",
+        min(BENCH_ORDER, key=lambda b: data[b][1]) == "181.mcf",
+    )
+    checks.check(
+        "the average traffic increase is moderate (paper: ~14%)",
+        avg_tr < 45.0,
+        f"+{avg_tr:.1f}%",
+    )
+    checks.assert_all(tolerate=1)

@@ -1,0 +1,120 @@
+"""Tables 1–3: workload metadata and machine design points.
+
+These tables parameterize the study rather than report results; the
+bench regenerates them from the library's own data structures so any
+drift between code and paper is caught.
+"""
+
+from __future__ import annotations
+
+from repro import benchmark_infos, table3_config
+from repro.sim.tables import TextTable
+from repro.sta.configs import TABLE3_ROWS
+
+from _common import ShapeChecks, run_once
+
+
+def test_table1_transformations(benchmark):
+    def build():
+        t = TextTable(
+            "Table 1 — transformations used in the manual parallelization",
+            ["benchmark", "transformations"],
+        )
+        for info in benchmark_infos():
+            t.add_row([info.name, ", ".join(info.transformations)])
+        return t
+
+    table = run_once(benchmark, build)
+    print()
+    print(table)
+    checks = ShapeChecks("Table 1")
+    infos = benchmark_infos()
+    checks.check(
+        "every benchmark lists at least one transformation",
+        all(info.transformations for info in infos),
+    )
+    checks.check(
+        "transformations drawn from the paper's three",
+        all(
+            t in (
+                "loop coalescing",
+                "loop unrolling",
+                "statement reordering to increase overlap",
+            )
+            for info in infos
+            for t in info.transformations
+        ),
+    )
+    checks.assert_all()
+
+
+def test_table2_benchmarks(benchmark):
+    def build():
+        t = TextTable(
+            "Table 2 — dynamic instruction counts and parallel fractions",
+            ["benchmark", "suite", "input set", "whole (M)", "targeted (M)",
+             "fraction"],
+        )
+        for info in benchmark_infos():
+            t.add_row([
+                info.name, info.suite, info.input_set,
+                f"{info.whole_minstr:.1f}", f"{info.targeted_minstr:.1f}",
+                f"{info.fraction_parallelized * 100:.1f}%",
+            ])
+        return t
+
+    table = run_once(benchmark, build)
+    print()
+    print(table)
+    checks = ShapeChecks("Table 2")
+    by_name = {i.name: i for i in benchmark_infos()}
+    checks.check(
+        "181.mcf has the largest parallel fraction (36.1%)",
+        max(by_name, key=lambda n: by_name[n].fraction_parallelized) == "181.mcf",
+        f"mcf = {by_name['181.mcf'].fraction_parallelized:.1%}",
+    )
+    checks.check(
+        "175.vpr has the smallest parallel fraction (8.6%)",
+        min(by_name, key=lambda n: by_name[n].fraction_parallelized) == "175.vpr",
+    )
+    checks.check(
+        "paper's exact Table 2 values carried",
+        abs(by_name["164.gzip"].whole_minstr - 1550.7) < 1e-6
+        and abs(by_name["183.equake"].targeted_minstr - 152.6) < 1e-6,
+    )
+    checks.assert_all()
+
+
+def test_table3_design_points(benchmark):
+    def build():
+        t = TextTable(
+            "Table 3 — per-TU parameters (total parallelism fixed at 16)",
+            ["#TUs", "issue", "ROB", "INT ALU", "INT MULT", "FP ALU",
+             "FP MULT", "L1D"],
+        )
+        for row in TABLE3_ROWS:
+            tus, issue, rob, ia, im, fa, fm, l1 = row
+            t.add_row([tus, issue, rob, ia, im, fa, fm, f"{l1}K"])
+        return t
+
+    table = run_once(benchmark, build)
+    print()
+    print(table)
+    checks = ShapeChecks("Table 3")
+    checks.check(
+        "issue × TUs = 16 for every non-baseline row",
+        all(tus * issue == 16 for tus, issue, *_ in TABLE3_ROWS[1:]),
+    )
+    checks.check(
+        "total L1 capacity constant at 32K",
+        all(
+            table3_config(n).n_thread_units * table3_config(n).tu.l1d.size
+            == 32 * 1024
+            for n in (1, 2, 4, 8, 16)
+        ),
+    )
+    checks.check(
+        "configs instantiate and validate",
+        all(table3_config(n).tu.issue_width > 0 for n in (1, 2, 4, 8, 16)),
+    )
+    checks.assert_all()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Build a custom workload and evaluate the WEC on it.
+
+The six shipped benchmark models are ordinary library clients: this
+script builds a *new* program from scratch — a blocked stencil sweep
+with a neighbour-gather phase — and runs the Figure-11-style comparison
+on it.  Use this as the template for studying your own access patterns.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import SimParams, named_config, run_program
+from repro.isa.cfg import BlockSpec, BranchSpec, IterationCFG, MemSlot
+from repro.isa.encoding import StageSplit
+from repro.isa.instructions import InstrClass
+from repro.sim.tables import TextTable
+from repro.workloads.patterns import RandomPattern, SequentialPattern
+from repro.workloads.program import (
+    ParallelRegionSpec,
+    Program,
+    SequentialRegionSpec,
+    WrongExecProfile,
+)
+
+KB = 1024
+MB = 1024 * 1024
+FP = {InstrClass.IALU: 0.3, InstrClass.FPALU: 0.5, InstrClass.FPMULT: 0.2}
+
+# ---------------------------------------------------------------------------
+# 1. Describe the parallel loop body as a small CFG.
+#    Each iteration sweeps a row of the grid (streaming) and gathers a
+#    few neighbour values through an index table (irregular).
+# ---------------------------------------------------------------------------
+body = IterationCFG(
+    entry="row",
+    blocks=[
+        BlockSpec(
+            "row",
+            n_instr=40,
+            mix_weights=FP,
+            mem_slots=(
+                MemSlot("grid"), MemSlot("grid"), MemSlot("grid"),
+                MemSlot("grid"),
+            ),
+            branch=BranchSpec(0.9, "gather", "gather", noise=0.06),
+        ),
+        BlockSpec(
+            "gather",
+            n_instr=35,
+            mix_weights=FP,
+            mem_slots=(
+                MemSlot("neigh"), MemSlot("neigh"),
+                MemSlot("out", is_store=True, is_target_store=True),
+            ),
+            branch=BranchSpec(0.12, "row", None, noise=0.04),
+        ),
+    ],
+)
+
+ITERS = 150
+patterns = {
+    # One grid pass per invocation: cold on first touch, L2-warm after.
+    "grid": SequentialPattern("grid", 0x10000000,
+                              ITERS * 4 * 64, stride=64, per_iter=4),
+    "neigh": RandomPattern("neigh", 0x20000000, 24 * KB, granule=8),
+    "out": SequentialPattern("out", 0x30000000, 64 * KB, stride=8, per_iter=1),
+    "off_path": RandomPattern("off_path", 0x40000000, 48 * KB, granule=64),
+}
+
+stencil = ParallelRegionSpec(
+    name="stencil.sweep",
+    cfg=body,
+    patterns=patterns,
+    iters_per_invocation=ITERS,
+    stage_split=StageSplit(0.05, 0.05, 0.85, 0.05),
+    ilp=3.5,
+    dep_coupling=0.1,
+    pollution_pattern="off_path",
+    wrong_exec=WrongExecProfile(
+        wp_mean_loads=3.0, wp_max_loads=8, p_convergent=0.6, wp_lookahead=12,
+        wth_fraction=0.7, wth_max_iters=1,
+    ),
+)
+
+glue = SequentialRegionSpec(
+    name="stencil.reduce",
+    cfg=IterationCFG(
+        entry="acc",
+        blocks=[
+            BlockSpec(
+                "acc",
+                n_instr=60,
+                mix_weights=FP,
+                mem_slots=(
+                    MemSlot("out"), MemSlot("out"), MemSlot("neigh"),
+                    MemSlot("out", is_store=True),
+                ),
+                branch=BranchSpec(0.9, None, None, noise=0.04),
+            ),
+        ],
+        pc_base=0x700000,
+    ),
+    patterns=patterns,
+    chunks_per_invocation=120,
+    ilp=3.0,
+)
+
+program = Program("custom.stencil", [glue, stencil], n_invocations=4)
+
+# ---------------------------------------------------------------------------
+# 2. Evaluate: orig vs victim cache vs WEC vs next-line prefetching.
+# ---------------------------------------------------------------------------
+params = SimParams(seed=7)
+base = run_program(program, named_config("orig"), params)
+
+table = TextTable(
+    "custom stencil workload — 8 TUs (speedup vs orig)",
+    ["config", "speedup", "eff. misses", "miss reduction", "traffic"],
+)
+table.add_row(["orig", "baseline", base.effective_misses, "-", "-"])
+for name in ("vc", "wth-wp", "wth-wp-wec", "nlp"):
+    r = run_program(program, named_config(name), params)
+    table.add_row([
+        name,
+        f"{r.relative_speedup_pct_vs(base):+.1f}%",
+        r.effective_misses,
+        f"{r.miss_reduction_pct_vs(base):+.1f}%",
+        f"{r.traffic_increase_pct_vs(base):+.1f}%",
+    ])
+print(table)
+print()
+print("The stream component rewards both prefetchers; the neighbour")
+print("gather and the WEC's pollution-free wrong-execution fills decide")
+print("the winner. Edit the patterns above and re-run to explore.")

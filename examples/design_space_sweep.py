@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Design-space sweep: WEC entries × L1 size, as a hardware-budget study.
+
+Section 5.3.2 of the paper argues that a small WEC is a better use of
+chip area than more L1 capacity.  This script quantifies that trade-off
+on the full suite: for each (L1 size, WEC entries) point it reports the
+suite-average speedup over the 4K-L1 baseline, so you can read off, for
+example, whether 4K L1 + 16-entry WEC beats 8K L1 with none.
+
+Run:  python examples/design_space_sweep.py        (takes a few minutes)
+      python examples/design_space_sweep.py 5e-5   (quicker, noisier)
+"""
+
+import sys
+
+from repro import (
+    BENCHMARK_NAMES,
+    CacheConfig,
+    SimParams,
+    build_benchmark,
+    named_config,
+    run_program,
+)
+from repro.common.stats import weighted_mean_speedup
+from repro.sim.tables import TextTable
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 2e-4
+params = SimParams(seed=2003, scale=scale)
+
+L1_SIZES = (4, 8, 16)
+WEC_ENTRIES = (0, 8, 16)  # 0 = plain orig machine
+
+programs = {name: build_benchmark(name, scale) for name in BENCHMARK_NAMES}
+
+# Baseline: 4K L1, no WEC.
+def config_for(l1_kb: int, entries: int):
+    l1 = CacheConfig(size=l1_kb * 1024, assoc=1, block_size=64, name="l1d")
+    if entries == 0:
+        return named_config("orig", l1d=l1)
+    return named_config("wth-wp-wec", l1d=l1, sidecar_entries=entries)
+
+
+base_times = {}
+for name, prog in programs.items():
+    base_times[name] = run_program(prog, config_for(4, 0), params).total_cycles
+
+table = TextTable(
+    "suite-average speedup vs (4K L1, no WEC) baseline",
+    ["L1 size"] + [("no WEC" if e == 0 else f"WEC {e}") for e in WEC_ENTRIES],
+)
+results = {}
+for l1_kb in L1_SIZES:
+    row = [f"{l1_kb}K"]
+    for entries in WEC_ENTRIES:
+        times = []
+        for name, prog in programs.items():
+            r = run_program(prog, config_for(l1_kb, entries), params)
+            times.append(r.total_cycles)
+        speedup = weighted_mean_speedup(
+            [base_times[n] for n in programs], times
+        )
+        results[(l1_kb, entries)] = speedup
+        row.append(f"{(speedup - 1) * 100:+.1f}%")
+    table.add_row(row)
+print(table)
+print()
+
+# The paper's area argument, §5.3.2: read off the two comparisons.
+wec_small = results[(4, 8)]
+double_l1 = results[(8, 0)]
+print(f"4K L1 + 8-entry WEC : {(wec_small - 1) * 100:+.1f}%")
+print(f"8K L1, no WEC       : {(double_l1 - 1) * 100:+.1f}%")
+verdict = "beats" if wec_small > double_l1 else "does not beat"
+print(f"-> an 8-entry WEC (512 B of storage) {verdict} doubling the L1 (4 KB).")

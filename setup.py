@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so
+PEP-517 editable installs are unavailable; this file lets
+``pip install -e .`` fall back to ``setup.py develop``.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""Experiment-report helpers: paper-vs-measured comparison records.
+
+``EXPERIMENTS.md`` is generated from :class:`ExperimentRecord` entries —
+one per reproduced table/figure — each carrying the paper's reported
+values, our measured values, and a pass/fail *shape* verdict (the
+reproduction targets orderings and rough magnitudes, not absolute
+cycle counts; see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.errors import AnalysisError
+
+__all__ = ["ShapeCheck", "ExperimentRecord", "render_report"]
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative expectation from the paper and its verdict."""
+
+    description: str
+    expected: str
+    measured: str
+    passed: bool
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return (
+            f"- [{mark}] {self.description}\n"
+            f"    paper:    {self.expected}\n"
+            f"    measured: {self.measured}"
+        )
+
+
+@dataclass
+class ExperimentRecord:
+    """Everything recorded about one reproduced table or figure."""
+
+    exp_id: str            # e.g. "Figure 11"
+    title: str
+    workload: str          # benchmarks + key parameters
+    bench_target: str      # which benchmarks/ file regenerates it
+    checks: List[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+
+    def add_check(
+        self, description: str, expected: str, measured: str, passed: bool
+    ) -> None:
+        self.checks.append(ShapeCheck(description, expected, measured, passed))
+
+    @property
+    def passed(self) -> bool:
+        """True when every shape check passed."""
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = [
+            f"## {self.exp_id} — {self.title}",
+            "",
+            f"*Workload*: {self.workload}",
+            f"*Regenerate with*: `{self.bench_target}`",
+            "",
+        ]
+        if self.checks:
+            lines.extend(c.render() for c in self.checks)
+        if self.notes:
+            lines.extend(["", self.notes])
+        lines.append("")
+        return "\n".join(lines)
+
+
+def render_report(records: List[ExperimentRecord], header: str = "") -> str:
+    """Assemble a full EXPERIMENTS.md-style report."""
+    if not records:
+        raise AnalysisError("no experiment records to render")
+    n_pass = sum(1 for r in records if r.passed)
+    lines = []
+    if header:
+        lines.extend([header, ""])
+    lines.append(
+        f"**Shape verdicts: {n_pass}/{len(records)} experiments "
+        f"match the paper's qualitative results.**"
+    )
+    lines.append("")
+    for r in records:
+        lines.append(r.render())
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Suite-level speedup aggregation over result grids.
+
+These helpers turn a :data:`~repro.sim.sweep.ResultGrid` into the rows
+the paper's figures plot: per-benchmark relative speedups against a
+baseline axis label, plus the execution-time-weighted suite average
+("average" bar in Figures 9–12 and 15–17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import AnalysisError
+from ..common.stats import weighted_mean_speedup
+from ..sim.results import SimResult
+from ..sim.sweep import ResultGrid, benchmarks_of, labels_of
+
+__all__ = [
+    "relative_speedups",
+    "suite_average_speedup_pct",
+    "normalized_times",
+    "speedup_table_rows",
+]
+
+
+def relative_speedups(
+    grid: ResultGrid, baseline_label: str, label: str
+) -> Dict[str, float]:
+    """Per-benchmark percent speedup of ``label`` over ``baseline_label``."""
+    out: Dict[str, float] = {}
+    for bench in benchmarks_of(grid):
+        base = grid.get((bench, baseline_label))
+        new = grid.get((bench, label))
+        if base is None or new is None:
+            raise AnalysisError(
+                f"grid is missing {bench} for {baseline_label!r} or {label!r}"
+            )
+        out[bench] = new.relative_speedup_pct_vs(base)
+    return out
+
+
+def suite_average_speedup_pct(
+    grid: ResultGrid, baseline_label: str, label: str
+) -> float:
+    """Execution-time-weighted mean percent speedup across the suite.
+
+    Matches the paper's methodology (§5, citing Lilja): each benchmark
+    is weighted equally regardless of absolute run length.
+    """
+    base_times: List[float] = []
+    new_times: List[float] = []
+    for bench in benchmarks_of(grid):
+        base = grid.get((bench, baseline_label))
+        new = grid.get((bench, label))
+        if base is None or new is None:
+            raise AnalysisError(
+                f"grid is missing {bench} for {baseline_label!r} or {label!r}"
+            )
+        base_times.append(base.total_cycles)
+        new_times.append(new.total_cycles)
+    return (weighted_mean_speedup(base_times, new_times) - 1.0) * 100.0
+
+
+def normalized_times(
+    grid: ResultGrid, baseline_label: str, label: str
+) -> Dict[str, float]:
+    """Per-benchmark execution time normalized to the baseline label."""
+    out: Dict[str, float] = {}
+    for bench in benchmarks_of(grid):
+        base = grid.get((bench, baseline_label))
+        new = grid.get((bench, label))
+        if base is None or new is None:
+            raise AnalysisError(
+                f"grid is missing {bench} for {baseline_label!r} or {label!r}"
+            )
+        out[bench] = new.normalized_time_vs(base)
+    return out
+
+
+def speedup_table_rows(
+    grid: ResultGrid,
+    baseline_label: str,
+    labels: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, Dict[str, float]]]:
+    """One row per benchmark (plus 'average'): label -> percent speedup."""
+    use_labels = [
+        l for l in (labels if labels is not None else labels_of(grid))
+        if l != baseline_label
+    ]
+    rows: List[Tuple[str, Dict[str, float]]] = []
+    for bench in benchmarks_of(grid):
+        base = grid[(bench, baseline_label)]
+        row = {
+            label: grid[(bench, label)].relative_speedup_pct_vs(base)
+            for label in use_labels
+        }
+        rows.append((bench, row))
+    avg_row = {
+        label: suite_average_speedup_pct(grid, baseline_label, label)
+        for label in use_labels
+    }
+    rows.append(("average", avg_row))
+    return rows

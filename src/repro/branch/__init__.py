@@ -1,0 +1,25 @@
+"""Branch prediction: direction predictors, BTB, RAS, front-end unit."""
+
+from .btb import BranchTargetBuffer
+from .frontend import BranchUnit
+from .predictors import (
+    BimodalPredictor,
+    CombiningPredictor,
+    DirectionPredictor,
+    GsharePredictor,
+    TwoLevelPredictor,
+    make_predictor,
+)
+from .ras import ReturnAddressStack
+
+__all__ = [
+    "BranchTargetBuffer",
+    "BranchUnit",
+    "BimodalPredictor",
+    "CombiningPredictor",
+    "DirectionPredictor",
+    "GsharePredictor",
+    "TwoLevelPredictor",
+    "make_predictor",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,72 @@
+"""Return-address stack.
+
+Completes the front-end model; the synthetic workloads emit call/return
+pairs only inside sequential regions' helper routines, so the RAS mostly
+matters to the instruction-fetch fidelity tests rather than the headline
+experiments.  Behaviour: circular stack that silently wraps (overwriting
+the oldest entry) like real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.errors import ConfigError
+
+__all__ = ["ReturnAddressStack"]
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address predictor stack."""
+
+    __slots__ = ("_depth", "_stack", "_top", "_count", "pushes", "pops", "underflows")
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ConfigError("RAS depth must be positive")
+        self._depth = depth
+        self._stack: List[int] = [0] * depth
+        self._top = 0       # index of the next free slot
+        self._count = 0     # valid entries (<= depth)
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, return_pc: int) -> None:
+        """Push a return address; wraps (loses oldest) when full."""
+        self.pushes += 1
+        self._stack[self._top] = return_pc
+        self._top = (self._top + 1) % self._depth
+        if self._count < self._depth:
+            self._count += 1
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return address; None on underflow."""
+        self.pops += 1
+        if self._count == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self._depth
+        self._count -= 1
+        return self._stack[self._top]
+
+    def peek(self) -> Optional[int]:
+        """The address a pop would return, without popping."""
+        if self._count == 0:
+            return None
+        return self._stack[(self._top - 1) % self._depth]
+
+    def reset(self) -> None:
+        """Empty the stack and zero statistics."""
+        self._top = 0
+        self._count = 0
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0

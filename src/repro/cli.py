@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show available benchmarks (Table 2 metadata) and configurations.
+``run``
+    Simulate one benchmark on one configuration and print the result.
+``compare``
+    Run one benchmark across several configurations against ``orig``
+    and print a Figure-11-style table.
+``suite``
+    Run every benchmark on one configuration (plus ``orig``) and print
+    per-benchmark speedups with the suite average.
+
+Examples
+--------
+::
+
+    python -m repro list
+    python -m repro run --benchmark mcf --config wth-wp-wec
+    python -m repro compare --benchmark equake --configs vc,wth-wp,wth-wp-wec,nlp
+    python -m repro suite --config wth-wp-wec --scale 1e-4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.speedup import suite_average_speedup_pct
+from .common.config import SimParams
+from .sim.driver import run_program
+from .sim.tables import TextTable
+from .sta.configs import CONFIG_NAMES, named_config
+from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_infos, build_benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Wrong Execution Cache reproduction — simulate SPEC2000-like "
+            "workloads on a superthreaded architecture."
+        ),
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and configurations")
+
+    def add_common(sp):
+        sp.add_argument("--scale", type=float, default=2e-4,
+                        help="instruction scale vs Table 2 (default 2e-4)")
+        sp.add_argument("--seed", type=int, default=2003)
+        sp.add_argument("--tus", type=int, default=8,
+                        help="number of thread units (default 8)")
+
+    run_p = sub.add_parser("run", help="simulate one benchmark/config pair")
+    run_p.add_argument("--benchmark", required=True)
+    run_p.add_argument("--config", default="wth-wp-wec", choices=CONFIG_NAMES)
+    add_common(run_p)
+
+    cmp_p = sub.add_parser("compare", help="one benchmark, several configs")
+    cmp_p.add_argument("--benchmark", required=True)
+    cmp_p.add_argument(
+        "--configs",
+        default="vc,wth-wp,wth-wp-wec,nlp",
+        help="comma-separated configuration names (orig is always run)",
+    )
+    add_common(cmp_p)
+
+    suite_p = sub.add_parser("suite", help="all benchmarks, one config vs orig")
+    suite_p.add_argument("--config", default="wth-wp-wec", choices=CONFIG_NAMES)
+    add_common(suite_p)
+
+    return p
+
+
+def _cmd_list() -> int:
+    t = TextTable(
+        "benchmarks (Table 2)",
+        ["name", "suite", "input set", "whole (M)", "parallel"],
+    )
+    for info in benchmark_infos():
+        t.add_row([
+            info.name, info.suite, info.input_set,
+            f"{info.whole_minstr:.1f}",
+            f"{info.fraction_parallelized * 100:.1f}%",
+        ])
+    print(t)
+    print()
+    print("configurations:", ", ".join(CONFIG_NAMES))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    params = SimParams(seed=args.seed, scale=args.scale)
+    program = build_benchmark(args.benchmark, args.scale)
+    cfg = named_config(args.config, n_tus=args.tus)
+    result = run_program(program, cfg, params)
+    print(f"machine : {cfg.describe()}")
+    print(f"result  : {result.total_cycles:.0f} cycles, ipc={result.ipc:.2f}")
+    print(f"memory  : {result.effective_misses} effective misses, "
+          f"{result.l1_traffic} L1 accesses, "
+          f"{result.mispredict_rate:.1%} branch mispredicts")
+    if result.wrong_loads:
+        print(f"wrong   : {result.wrong_loads} wrong loads "
+              f"({result.wrong_thread_loads} from wrong threads), "
+              f"{result.useful_wrong_hits} useful hits, "
+              f"{result.prefetches} chained prefetches")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    params = SimParams(seed=args.seed, scale=args.scale)
+    program = build_benchmark(args.benchmark, args.scale)
+    wanted = [c.strip() for c in args.configs.split(",") if c.strip()]
+    unknown = [c for c in wanted if c not in CONFIG_NAMES]
+    if unknown:
+        print(f"unknown configuration(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    base = run_program(program, named_config("orig", n_tus=args.tus), params)
+    t = TextTable(
+        f"{program.name} on {args.tus} TUs (vs orig)",
+        ["config", "speedup", "misses", "miss red.", "traffic"],
+    )
+    t.add_row(["orig", "baseline", base.effective_misses, "-", "-"])
+    for name in wanted:
+        r = run_program(program, named_config(name, n_tus=args.tus), params)
+        t.add_row([
+            name,
+            f"{r.relative_speedup_pct_vs(base):+.1f}%",
+            r.effective_misses,
+            f"{r.miss_reduction_pct_vs(base):+.1f}%",
+            f"{r.traffic_increase_pct_vs(base):+.1f}%",
+        ])
+    print(t)
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    params = SimParams(seed=args.seed, scale=args.scale)
+    grid = {}
+    t = TextTable(
+        f"suite: {args.config} vs orig ({args.tus} TUs, scale {args.scale:g})",
+        ["benchmark", "orig cycles", f"{args.config} cycles", "speedup"],
+    )
+    for bench in BENCHMARK_NAMES:
+        program = build_benchmark(bench, args.scale)
+        base = run_program(program, named_config("orig", n_tus=args.tus), params)
+        new = run_program(program, named_config(args.config, n_tus=args.tus), params)
+        grid[(bench, "orig")] = base
+        grid[(bench, args.config)] = new
+        t.add_row([
+            bench,
+            f"{base.total_cycles:.0f}",
+            f"{new.total_cycles:.0f}",
+            f"{new.relative_speedup_pct_vs(base):+.1f}%",
+        ])
+    avg = suite_average_speedup_pct(grid, "orig", args.config)
+    t.add_row(["average", "-", "-", f"{avg:+.1f}%"])
+    print(t)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "suite":
+            return _cmd_suite(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

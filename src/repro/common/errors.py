@@ -1,0 +1,34 @@
+"""Exception hierarchy for the WEC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised by the ``validate()`` methods on the configuration dataclasses
+    in :mod:`repro.common.config` — e.g. a cache whose size is not a
+    multiple of ``block_size * assoc``, or a machine whose total issue
+    bandwidth does not match the experiment's constraint.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state at run time."""
+
+
+class WorkloadError(ReproError):
+    """A workload/benchmark model was mis-specified or is unknown."""
+
+
+class AnalysisError(ReproError):
+    """Result post-processing failed (mismatched runs, empty input, ...)."""

@@ -1,0 +1,101 @@
+"""Deterministic random-number stream management.
+
+Every stochastic component of the simulator (workload address patterns,
+branch-outcome streams, wrong-path convergence draws, ...) pulls from a
+named child stream derived from a single experiment seed, so that:
+
+* two runs with the same seed are bit-identical regardless of which
+  configurations are simulated (streams do not interleave), and
+* changing one component's draw count does not perturb the others.
+
+This is the standard "seed-sequence spawning" discipline recommended for
+reproducible parallel Monte-Carlo work.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["StreamFactory", "stable_hash32"]
+
+
+def stable_hash32(text: str) -> int:
+    """A process-stable 32-bit hash of ``text`` (CRC32).
+
+    Python's built-in ``hash`` is salted per process, so it must never be
+    used to derive seeds.  CRC32 is stable, fast and good enough for
+    stream separation when combined with ``SeedSequence``.
+    """
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class StreamFactory:
+    """Factory producing named, independent ``numpy`` generators.
+
+    Parameters
+    ----------
+    seed:
+        The experiment master seed.
+
+    Examples
+    --------
+    >>> f = StreamFactory(42)
+    >>> g1 = f.stream("mcf/loads")
+    >>> g2 = f.stream("mcf/branches")
+    >>> g1 is not g2
+    True
+    >>> # Same name -> same stream state at creation, from a fresh factory.
+    >>> f2 = StreamFactory(42)
+    >>> bool(np.all(f2.stream("mcf/loads").integers(0, 2**30, 8)
+    ...             == StreamFactory(42).stream("mcf/loads").integers(0, 2**30, 8)))
+    True
+    """
+
+    __slots__ = ("_seed", "_cache")
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._cache: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed this factory was constructed with."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator
+        object (its state advances as it is consumed).
+        """
+        gen = self._cache.get(name)
+        if gen is None:
+            ss = np.random.SeedSequence(
+                entropy=self._seed, spawn_key=(stable_hash32(name),)
+            )
+            gen = np.random.Generator(np.random.PCG64(ss))
+            self._cache[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for ``name`` with pristine state.
+
+        Unlike :meth:`stream`, the result is not cached; callers that
+        need replayable sub-streams (e.g. regenerating the same iteration
+        trace twice) should use this.
+        """
+        ss = np.random.SeedSequence(
+            entropy=self._seed, spawn_key=(stable_hash32(name),)
+        )
+        return np.random.Generator(np.random.PCG64(ss))
+
+    def child(self, name: str) -> "StreamFactory":
+        """Derive a child factory namespaced by ``name``.
+
+        Children with distinct names never collide with each other or
+        with the parent's direct streams.
+        """
+        return StreamFactory((self._seed * 0x9E3779B1 + stable_hash32(name)) & 0x7FFFFFFF)

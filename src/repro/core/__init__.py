@@ -1,0 +1,13 @@
+"""The paper's core machinery: TU cores, timing, speculative buffers."""
+
+from .membuffer import SpeculativeMemBuffer
+from .thread_unit import SEQ_SPLIT, ThreadUnit
+from .timing import CoreTimingModel, IterationTiming
+
+__all__ = [
+    "SpeculativeMemBuffer",
+    "SEQ_SPLIT",
+    "ThreadUnit",
+    "CoreTimingModel",
+    "IterationTiming",
+]

@@ -1,0 +1,143 @@
+"""Mechanistic timing model for one thread-unit core.
+
+Full cycle-accurate out-of-order simulation is three orders of magnitude
+too slow in pure Python (the repro-feasibility note for this paper says
+exactly this), so the core is modelled mechanistically — the approach of
+interval analysis: per iteration,
+
+``base cycles``
+    issue-limited: ``instructions / min(issue_width, workload ILP)``,
+    further bounded below by functional-unit throughput (Table 3 gives
+    each TU a specific ALU/MULT/FP mix);
+``memory stall cycles``
+    the sum of beyond-L1 latencies of correct-path loads, divided by the
+    memory-level parallelism the ROB/LSQ can sustain;
+``branch stall cycles``
+    mispredictions × refill penalty;
+``store commit cycles``
+    stores retire from the speculative memory buffer during write-back,
+    largely off the critical path (weighted down accordingly).
+
+All components are additive per iteration; the thread-pipelining
+scheduler then composes iterations across TUs.  This preserves exactly
+the quantities the paper's conclusions rest on: relative execution time
+across memory-system variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import SimParams, ThreadUnitConfig
+from ..common.errors import SimulationError
+from ..isa.encoding import StageSplit
+from ..isa.instructions import InstructionMix
+
+__all__ = ["IterationTiming", "CoreTimingModel"]
+
+#: Fraction of a store-commit stall charged to the write-back stage —
+#: stores drain from the memory buffer in the background.
+STORE_STALL_WEIGHT = 0.2
+
+
+@dataclass
+class IterationTiming:
+    """Cycle breakdown of one iteration (or sequential chunk)."""
+
+    continuation: float
+    tsag: float
+    computation: float
+    writeback: float
+    # Diagnostics (already folded into the stage numbers above):
+    base_cycles: float = 0.0
+    mem_stall: float = 0.0
+    store_stall: float = 0.0
+    branch_stall: float = 0.0
+    ifetch_stall: float = 0.0
+    n_mispredicts: int = 0
+    n_wrong_path_loads: int = 0
+
+    @property
+    def total(self) -> float:
+        """End-to-end cycles of the iteration on an unloaded TU."""
+        return self.continuation + self.tsag + self.computation + self.writeback
+
+
+class CoreTimingModel:
+    """Translates replay measurements into per-iteration cycle counts."""
+
+    __slots__ = ("cfg", "params", "_mlp", "_fu_counts")
+
+    def __init__(self, cfg: ThreadUnitConfig, params: SimParams) -> None:
+        self.cfg = cfg
+        self.params = params
+        mlp = (cfg.rob_size / 16.0) * params.mlp_per_16_rob
+        # The LSQ bounds outstanding memory operations as well.
+        mlp = min(mlp, cfg.lsq_size / 8.0)
+        self._mlp = max(1.0, min(params.mlp_cap, mlp))
+        fu = cfg.func_units
+        self._fu_counts = {
+            "int_alu": fu.int_alu,
+            "int_mult": fu.int_mult,
+            "fp_alu": fu.fp_alu,
+            "fp_mult": fu.fp_mult,
+        }
+
+    @property
+    def mlp(self) -> float:
+        """Modelled memory-level parallelism (overlappable misses)."""
+        return self._mlp
+
+    def base_cycles(self, mix: InstructionMix, ilp: float) -> float:
+        """Issue- and FU-throughput-limited execution cycles."""
+        if ilp <= 0:
+            raise SimulationError("non-positive ILP")
+        total = mix.total
+        if total == 0:
+            return 0.0
+        eff_issue = min(float(self.cfg.issue_width), ilp)
+        cycles = total / eff_issue
+        for pool, demand in mix.fu_demand().items():
+            pool_cycles = demand / self._fu_counts[pool]
+            if pool_cycles > cycles:
+                cycles = pool_cycles
+        return cycles
+
+    def iteration_timing(
+        self,
+        mix: InstructionMix,
+        ilp: float,
+        stage_split: StageSplit,
+        load_stall_sum: float,
+        store_stall_sum: float,
+        n_mispredicts: int,
+        mispredict_penalty: int,
+        ifetch_stall_sum: float = 0.0,
+        n_wrong_path_loads: int = 0,
+    ) -> IterationTiming:
+        """Assemble the full timing of one iteration.
+
+        ``load_stall_sum`` / ``store_stall_sum`` are the summed
+        beyond-hit latencies measured by the cache replay;
+        ``ifetch_stall_sum`` likewise for the L1I.
+        """
+        base = self.base_cycles(mix, ilp)
+        mem_stall = load_stall_sum / self._mlp
+        store_stall = store_stall_sum * STORE_STALL_WEIGHT / self._mlp
+        branch_stall = float(n_mispredicts * mispredict_penalty)
+        cont, tsag, comp, wb = stage_split.cycles(base)
+        comp += mem_stall + branch_stall + ifetch_stall_sum
+        wb += store_stall
+        return IterationTiming(
+            continuation=cont,
+            tsag=tsag,
+            computation=comp,
+            writeback=wb,
+            base_cycles=base,
+            mem_stall=mem_stall,
+            store_stall=store_stall,
+            branch_stall=branch_stall,
+            ifetch_stall=ifetch_stall_sum,
+            n_mispredicts=n_mispredicts,
+            n_wrong_path_loads=n_wrong_path_loads,
+        )

@@ -1,0 +1,29 @@
+"""Instruction-set and program-representation layer."""
+
+from .cfg import BlockSpec, BranchSpec, IterationCFG, MemSlot, WalkResult
+from .encoding import (
+    EV_BRANCH,
+    EV_LOAD,
+    EV_STORE,
+    EV_TSTORE,
+    IterationTrace,
+    StageSplit,
+)
+from .instructions import FU_CLASS_MAP, InstrClass, InstructionMix
+
+__all__ = [
+    "BlockSpec",
+    "BranchSpec",
+    "IterationCFG",
+    "MemSlot",
+    "WalkResult",
+    "EV_BRANCH",
+    "EV_LOAD",
+    "EV_STORE",
+    "EV_TSTORE",
+    "IterationTrace",
+    "StageSplit",
+    "FU_CLASS_MAP",
+    "InstrClass",
+    "InstructionMix",
+]

@@ -1,0 +1,94 @@
+"""Small fully-associative LRU buffer.
+
+This single structure backs all three sidecars the paper compares:
+
+* the **victim cache** (Jouppi 1990) in configurations ``vc`` and
+  ``wth-wp-vc``;
+* the **Wrong Execution Cache** storage in ``wth-wp-wec``;
+* the **prefetch buffer** of tagged next-line prefetching in ``nlp``.
+
+What differs between those is the *policy* layered on top (see
+:mod:`repro.mem.sidecars`); the storage semantics — fully associative,
+true LRU, a handful of entries — are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..common.errors import ConfigError
+
+__all__ = ["FullyAssocBuffer"]
+
+
+class FullyAssocBuffer:
+    """Fully-associative block store with true-LRU replacement."""
+
+    __slots__ = ("_capacity", "_blocks", "name")
+
+    def __init__(self, capacity: int, name: str = "buffer") -> None:
+        if capacity < 1:
+            raise ConfigError("buffer capacity must be >= 1")
+        self._capacity = capacity
+        self._blocks: Dict[int, int] = {}
+        self.name = name
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+    def lookup(self, block: int) -> Optional[int]:
+        """Flags for ``block`` with LRU refresh; None on miss."""
+        flags = self._blocks.get(block)
+        if flags is None:
+            return None
+        del self._blocks[block]
+        self._blocks[block] = flags
+        return flags
+
+    def probe(self, block: int) -> Optional[int]:
+        """Flags for ``block`` without LRU refresh; None on miss."""
+        return self._blocks.get(block)
+
+    def insert(self, block: int, flags: int = 0) -> Optional[Tuple[int, int]]:
+        """Install ``block`` as MRU; return the evicted (block, flags) if any."""
+        if block in self._blocks:
+            del self._blocks[block]
+            self._blocks[block] = flags
+            return None
+        evicted: Optional[Tuple[int, int]] = None
+        if len(self._blocks) >= self._capacity:
+            victim = next(iter(self._blocks))
+            evicted = (victim, self._blocks[victim])
+            del self._blocks[victim]
+        self._blocks[block] = flags
+        return evicted
+
+    def remove(self, block: int) -> Optional[int]:
+        """Remove ``block``; return its flags, or None if absent."""
+        return self._blocks.pop(block, None)
+
+    def set_flags(self, block: int, flags: int) -> None:
+        """Overwrite a resident block's flags."""
+        if block not in self._blocks:
+            raise ConfigError(f"{self.name}: set_flags on non-resident block {block:#x}")
+        self._blocks[block] = flags
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(block, flags)``, LRU first."""
+        return iter(self._blocks.items())
+
+    def flush(self) -> List[Tuple[int, int]]:
+        """Empty the buffer, returning everything that was resident."""
+        out = list(self._blocks.items())
+        self._blocks.clear()
+        return out
+
+    def __repr__(self) -> str:
+        return f"FullyAssocBuffer({self.name!r}, {len(self)}/{self._capacity})"

@@ -1,0 +1,32 @@
+"""Simulation driving, sweeps, results and table formatting."""
+
+from .cache_only import CacheOnlyResult, replay_cache_only
+from .driver import run_program, run_simulation
+from .results import SimResult, require_same_workload
+from .sweep import (
+    ResultGrid,
+    baseline_of,
+    benchmarks_of,
+    labels_of,
+    run_config_axis,
+    run_grid,
+)
+from .tables import TextTable, format_pct, format_ratio
+
+__all__ = [
+    "CacheOnlyResult",
+    "replay_cache_only",
+    "run_program",
+    "run_simulation",
+    "SimResult",
+    "require_same_workload",
+    "ResultGrid",
+    "baseline_of",
+    "benchmarks_of",
+    "labels_of",
+    "run_config_axis",
+    "run_grid",
+    "TextTable",
+    "format_pct",
+    "format_ratio",
+]

@@ -1,0 +1,167 @@
+"""Fast cache-only replay: miss rates without the timing model.
+
+For studies that only need memory-hierarchy behaviour (miss rates,
+traffic, WEC hit composition), the thread-pipelining timing machinery
+is pure overhead.  :func:`replay_cache_only` pushes a program's access
+stream through a full :class:`~repro.sta.machine.Machine`'s hierarchy —
+including wrong-path/wrong-thread injection and the sidecar policies —
+but skips branch-penalty/stage accounting and returns only memory
+statistics.
+
+Branch prediction still runs (wrong-path injection is gated on real
+mispredictions) and the iteration→TU round-robin matches the timed
+simulator, so the cache-state evolution is identical to a timed run;
+only the returned observables differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from ..common.config import MachineConfig, SimParams
+from ..common.rng import StreamFactory
+from ..isa.encoding import EV_BRANCH, EV_LOAD
+from ..sta.machine import Machine
+from ..workloads.benchmarks import build_benchmark
+from ..workloads.program import ParallelRegionSpec, Program
+from ..workloads.tracegen import TraceGenerator
+
+__all__ = ["CacheOnlyResult", "replay_cache_only"]
+
+
+@dataclass
+class CacheOnlyResult:
+    """Memory-hierarchy observables from a cache-only replay."""
+
+    benchmark: str
+    config: str
+    loads: int = 0
+    stores: int = 0
+    l1_misses: int = 0
+    effective_misses: int = 0
+    sidecar_hits: int = 0
+    wrong_loads: int = 0
+    wrong_fills: int = 0
+    useful_wrong_hits: int = 0
+    useful_prefetch_hits: int = 0
+    prefetches: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.loads + self.stores
+        return self.l1_misses / total if total else 0.0
+
+    @property
+    def effective_miss_rate(self) -> float:
+        total = self.loads + self.stores
+        return self.effective_misses / total if total else 0.0
+
+
+def replay_cache_only(
+    benchmark: Union[str, Program],
+    config: MachineConfig,
+    params: SimParams = SimParams(),
+) -> CacheOnlyResult:
+    """Replay ``benchmark`` through ``config``'s memory hierarchy only.
+
+    Several times faster than :func:`repro.sim.driver.run_simulation`;
+    produces identical cache statistics (same seeds, same replay order).
+    """
+    program = (
+        build_benchmark(benchmark, scale=params.scale)
+        if isinstance(benchmark, str)
+        else benchmark
+    )
+    machine = Machine(config, params)
+    tracegen = TraceGenerator(StreamFactory(params.seed))
+    wrong_path = config.wrong_exec.wrong_path
+    wrong_thread = config.wrong_exec.wrong_thread
+    n_tus = machine.n_tus
+    warmup = min(params.warmup_invocations, program.n_invocations - 1)
+    stats_live = warmup == 0
+
+    for invocation, region in program.schedule():
+        if not stats_live and invocation >= warmup:
+            machine.reset_statistics()
+            stats_live = True
+        if isinstance(region, ParallelRegionSpec):
+            lo, hi = region.global_iter_range(invocation)
+            for i in range(lo, hi):
+                tu = machine.tu_for_iteration(i)
+                _replay_one(tu, region, i, tracegen, wrong_path, sequential=False)
+            if wrong_thread and n_tus > 1:
+                for k in range(n_tus - 1):
+                    wrong_iter = hi + k
+                    machine.tu_for_iteration(wrong_iter).run_wrong_thread(
+                        region, wrong_iter, tracegen
+                    )
+            machine.set_head((hi - 1) % n_tus)
+        else:
+            lo, hi = region.global_chunk_range(invocation)
+            tu = machine.tus[machine.head_tu]
+            for c in range(lo, hi):
+                _replay_one(tu, region, c, tracegen, wrong_path, sequential=True,
+                            bus=machine.bus)
+
+    result = CacheOnlyResult(benchmark=program.name, config=config.name)
+    result.loads = machine.aggregate("loads")
+    result.stores = machine.aggregate("stores")
+    result.l1_misses = machine.l1_misses
+    result.effective_misses = machine.effective_misses
+    result.sidecar_hits = machine.aggregate("sidecar_hits")
+    result.wrong_loads = machine.aggregate("wrong_loads")
+    result.wrong_fills = machine.aggregate("wrong_fills")
+    result.useful_wrong_hits = machine.aggregate("useful_wrong_hits")
+    result.useful_prefetch_hits = machine.aggregate("useful_prefetch_hits")
+    result.prefetches = machine.aggregate("prefetches")
+    result.l2_accesses = machine.l2.stats["accesses"]
+    result.l2_misses = machine.l2.stats["misses"]
+    result.counters = machine.collect_stats()
+    return result
+
+
+def _replay_one(tu, region, index, tracegen, wrong_path, sequential, bus=None):
+    """Replay one iteration/chunk against the memory system only."""
+    if sequential:
+        trace = tracegen.chunk_trace(region, index)
+    else:
+        trace = tracegen.iteration_trace(region, index)
+    mem = tu.mem
+    load_correct = mem.load_correct
+    store_correct = mem.store_correct
+    load_wrong = mem.load_wrong
+    # Instruction fetch shapes shared-L2 state; replay it like the
+    # timed simulator does.
+    for addr in tracegen.ifetch_blocks(region, trace.n_instr).tolist():
+        mem.ifetch(addr)
+    future_loads = None
+    if wrong_path and sequential:
+        future_loads = tracegen.chunk_trace(region, index + 1).load_addrs
+    kinds, values, indices = trace.merged_events()
+    branch_taken = trace.branch_taken
+    buffered = []
+    for kind, value, idx in zip(kinds.tolist(), values.tolist(), indices.tolist()):
+        if kind == EV_LOAD:
+            load_correct(value)
+        elif kind == EV_BRANCH:
+            if tu.branch.resolve(value, bool(branch_taken[idx])) and wrong_path:
+                for a in tracegen.wrong_path_addrs(
+                    region, trace, idx, index, future_loads=future_loads
+                ):
+                    load_wrong(a)
+        elif sequential:
+            store_correct(value)
+            if bus is not None:
+                bus.sequential_store(tu.tu_id, value)
+        else:
+            # Parallel-region stores commit at write-back, after the
+            # iteration's loads — match the timed replay's cache order.
+            buffered.append(value)
+    # The speculative memory buffer holds one entry per address: commit
+    # each unique address once, in first-buffered order (dict semantics).
+    for value in dict.fromkeys(buffered):
+        store_correct(value)

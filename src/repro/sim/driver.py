@@ -1,0 +1,124 @@
+"""Top-level simulation driver: run one benchmark on one machine.
+
+This is the main public entry point::
+
+    from repro import run_simulation, named_config
+
+    result = run_simulation("181.mcf", named_config("wth-wp-wec"))
+    base = run_simulation("181.mcf", named_config("orig"))
+    print(result.relative_speedup_pct_vs(base))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..common.config import MachineConfig, SimParams
+from ..common.rng import StreamFactory
+from ..sta.machine import Machine
+from ..sta.scheduler import Scheduler
+from ..workloads.benchmarks import build_benchmark
+from ..workloads.program import (
+    ParallelRegionSpec,
+    Program,
+    SequentialRegionSpec,
+)
+from ..workloads.tracegen import TraceGenerator
+from .results import SimResult
+
+__all__ = ["run_simulation", "run_program"]
+
+
+def run_simulation(
+    benchmark: Union[str, Program],
+    config: MachineConfig,
+    params: SimParams = SimParams(),
+) -> SimResult:
+    """Simulate ``benchmark`` (name or prebuilt program) on ``config``.
+
+    When given a name the benchmark model is built at ``params.scale``;
+    passing a :class:`Program` lets callers reuse one across configs
+    (they are stateless, so this is purely a construction-time saving).
+    """
+    if isinstance(benchmark, str):
+        program = build_benchmark(benchmark, scale=params.scale)
+    else:
+        program = benchmark
+    return run_program(program, config, params)
+
+
+def run_program(
+    program: Program,
+    config: MachineConfig,
+    params: SimParams = SimParams(),
+) -> SimResult:
+    """Simulate a prebuilt :class:`Program` on ``config``."""
+    machine = Machine(config, params)
+    tracegen = TraceGenerator(StreamFactory(params.seed))
+    scheduler = Scheduler(machine, tracegen)
+
+    total = 0.0
+    par_cycles = 0.0
+    seq_cycles = 0.0
+    wrong_thread_loads = 0
+    region_records = []
+
+    warmup = min(params.warmup_invocations, program.n_invocations - 1)
+    stats_live = warmup == 0
+
+    for invocation, region in program.schedule():
+        if not stats_live and invocation >= warmup:
+            # Warm-up complete: measure from warmed state.
+            machine.reset_statistics()
+            stats_live = True
+        if isinstance(region, ParallelRegionSpec):
+            rr = scheduler.run_parallel_region(region, invocation)
+            if stats_live:
+                par_cycles += rr.cycles
+                wrong_thread_loads += rr.wrong_thread_loads
+        else:
+            rr = scheduler.run_sequential_region(region, invocation)
+            if stats_live:
+                seq_cycles += rr.cycles
+        if not stats_live:
+            continue
+        total += rr.cycles
+        if params.record_regions:
+            region_records.append(
+                {
+                    "name": rr.name,
+                    "kind": rr.kind,
+                    "invocation": rr.invocation,
+                    "cycles": rr.cycles,
+                    "iterations": rr.iterations,
+                }
+            )
+
+    counters = machine.collect_stats()
+    instructions = sum(tu.stats["instructions"] for tu in machine.tus)
+    return SimResult(
+        benchmark=program.name,
+        config=config.name,
+        n_tus=config.n_thread_units,
+        total_cycles=total,
+        parallel_cycles=par_cycles,
+        sequential_cycles=seq_cycles,
+        instructions=instructions,
+        l1_traffic=machine.l1_traffic,
+        l1_misses=machine.l1_misses,
+        effective_misses=machine.effective_misses,
+        wrong_loads=machine.aggregate("wrong_loads"),
+        wrong_thread_loads=wrong_thread_loads,
+        sidecar_hits=machine.aggregate("sidecar_hits"),
+        prefetches=machine.aggregate("prefetches"),
+        useful_wrong_hits=machine.aggregate("useful_wrong_hits"),
+        useful_prefetch_hits=machine.aggregate("useful_prefetch_hits"),
+        branches=machine.branches,
+        mispredicts=machine.mispredicts,
+        l2_accesses=machine.l2.stats["accesses"],
+        l2_misses=machine.l2.stats["misses"],
+        counters=counters,
+        region_cycles=region_records,
+        seed=params.seed,
+        scale=params.scale,
+    )

@@ -1,0 +1,148 @@
+"""Simulation results: per-run records and derived metrics.
+
+A :class:`SimResult` captures everything one (benchmark, configuration)
+run produced: cycle counts split by region kind, the full counter dump,
+and the headline memory-system metrics the paper's figures are built
+from.  Comparison helpers implement the exact quantities plotted:
+relative speedup (Figures 9–12, 15, 16), normalized execution time
+(Figures 13, 14), and the Figure 17 traffic/miss deltas.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.errors import AnalysisError
+from ..common.stats import normalized_time, relative_speedup_pct, speedup
+
+__all__ = ["SimResult", "require_same_workload"]
+
+
+@dataclass
+class SimResult:
+    """The outcome of simulating one benchmark on one machine config."""
+
+    benchmark: str
+    config: str
+    n_tus: int
+    total_cycles: float
+    parallel_cycles: float
+    sequential_cycles: float
+    instructions: int
+    # Memory-system headline numbers (summed across TUs):
+    l1_traffic: int = 0
+    l1_misses: int = 0
+    effective_misses: int = 0
+    wrong_loads: int = 0
+    wrong_thread_loads: int = 0
+    sidecar_hits: int = 0
+    prefetches: int = 0
+    useful_wrong_hits: int = 0
+    useful_prefetch_hits: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    #: Full flattened counter dump for deep inspection.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Optional per-region timing detail (``SimParams.record_regions``).
+    region_cycles: List[Dict] = field(default_factory=list)
+    seed: int = 0
+    scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_cycles <= 0:
+            raise AnalysisError(
+                f"{self.benchmark}/{self.config}: non-positive cycle count"
+            )
+
+    # -- paper metrics ---------------------------------------------------
+
+    def speedup_vs(self, baseline: "SimResult") -> float:
+        """Speedup of *this* run relative to ``baseline`` (>1 = faster)."""
+        require_same_workload(self, baseline)
+        return speedup(baseline.total_cycles, self.total_cycles)
+
+    def relative_speedup_pct_vs(self, baseline: "SimResult") -> float:
+        """Percent speedup, as plotted in Figures 9–12, 15 and 16."""
+        require_same_workload(self, baseline)
+        return relative_speedup_pct(baseline.total_cycles, self.total_cycles)
+
+    def parallel_speedup_vs(self, baseline: "SimResult") -> float:
+        """Speedup over the parallelized portions only (Figure 8)."""
+        require_same_workload(self, baseline)
+        if self.parallel_cycles <= 0 or baseline.parallel_cycles <= 0:
+            raise AnalysisError("no parallel-region cycles recorded")
+        return baseline.parallel_cycles / self.parallel_cycles
+
+    def normalized_time_vs(self, baseline: "SimResult") -> float:
+        """Execution time normalized to ``baseline`` (Figures 13, 14)."""
+        require_same_workload(self, baseline)
+        return normalized_time(baseline.total_cycles, self.total_cycles)
+
+    def traffic_increase_pct_vs(self, baseline: "SimResult") -> float:
+        """Figure 17: percent increase in processor↔L1D traffic."""
+        require_same_workload(self, baseline)
+        if baseline.l1_traffic <= 0:
+            raise AnalysisError("baseline recorded no L1 traffic")
+        return (self.l1_traffic - baseline.l1_traffic) / baseline.l1_traffic * 100.0
+
+    def miss_reduction_pct_vs(self, baseline: "SimResult") -> float:
+        """Figure 17: percent reduction in (effective) L1D miss count.
+
+        A miss here is a correct-path access that had to be serviced
+        beyond the L1 *and* its parallel sidecar — an L1 miss that hits
+        in the WEC behaves as a hit (§3.2.1) and is not counted.
+        """
+        require_same_workload(self, baseline)
+        if baseline.effective_misses <= 0:
+            raise AnalysisError("baseline recorded no misses")
+        return (
+            (baseline.effective_misses - self.effective_misses)
+            / baseline.effective_misses
+            * 100.0
+        )
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate committed instructions per cycle."""
+        return self.instructions / self.total_cycles
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-serializable)."""
+        return asdict(self)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        return cls(**data)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimResult({self.benchmark} on {self.config}/{self.n_tus}TU: "
+            f"{self.total_cycles:.0f} cycles, ipc={self.ipc:.2f}, "
+            f"misses={self.effective_misses})"
+        )
+
+
+def require_same_workload(a: SimResult, b: SimResult) -> None:
+    """Guard against comparing runs of different benchmarks or scales."""
+    if a.benchmark != b.benchmark:
+        raise AnalysisError(
+            f"cannot compare different benchmarks: {a.benchmark} vs {b.benchmark}"
+        )
+    if a.seed != b.seed or a.scale != b.scale:
+        raise AnalysisError(
+            f"{a.benchmark}: runs used different seed/scale "
+            f"({a.seed}/{a.scale} vs {b.seed}/{b.scale})"
+        )

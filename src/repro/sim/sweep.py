@@ -1,0 +1,89 @@
+"""Parameter-sweep helpers used by the figure-reproduction benches.
+
+Every figure in the paper is a sweep over {benchmark} × {configuration
+axis}; these helpers run such grids and return keyed result maps.  The
+benchmark *program* is built once per benchmark and shared across
+configurations (programs are immutable), so a full Figure 11 grid is
+six program builds plus 48 machine simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..common.config import MachineConfig, SimParams
+from ..common.errors import AnalysisError
+from ..workloads.benchmarks import BENCHMARK_NAMES, build_benchmark
+from ..workloads.program import Program
+from .driver import run_program
+from .results import SimResult
+
+__all__ = ["run_grid", "run_config_axis", "ResultGrid"]
+
+#: (benchmark name, axis label) -> SimResult
+ResultGrid = Dict[Tuple[str, str], SimResult]
+
+
+def run_grid(
+    configs: Mapping[str, MachineConfig],
+    benchmarks: Optional[Sequence[str]] = None,
+    params: SimParams = SimParams(),
+    progress: Optional[Callable[[str, str], None]] = None,
+) -> ResultGrid:
+    """Run every benchmark × configuration pair.
+
+    ``configs`` maps an axis label (e.g. ``"wth-wp-wec 8"``) to a
+    machine configuration.  ``progress`` (if given) is called with
+    ``(benchmark, label)`` before each run — handy for long sweeps.
+    """
+    if not configs:
+        raise AnalysisError("empty configuration axis")
+    bench_names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
+    results: ResultGrid = {}
+    for bname in bench_names:
+        program = build_benchmark(bname, scale=params.scale)
+        for label, cfg in configs.items():
+            if progress is not None:
+                progress(bname, label)
+            results[(bname, label)] = run_program(program, cfg, params)
+    return results
+
+
+def run_config_axis(
+    config_factory: Callable[[str], MachineConfig],
+    axis: Sequence[str],
+    benchmarks: Optional[Sequence[str]] = None,
+    params: SimParams = SimParams(),
+) -> ResultGrid:
+    """Sweep an axis of labels through ``config_factory``."""
+    configs = {label: config_factory(label) for label in axis}
+    return run_grid(configs, benchmarks, params)
+
+
+def baseline_of(grid: ResultGrid, baseline_label: str) -> Dict[str, SimResult]:
+    """Extract one axis label's results keyed by benchmark."""
+    out: Dict[str, SimResult] = {}
+    for (bench, label), result in grid.items():
+        if label == baseline_label:
+            out[bench] = result
+    if not out:
+        raise AnalysisError(f"baseline label {baseline_label!r} not present in grid")
+    return out
+
+
+def labels_of(grid: ResultGrid) -> List[str]:
+    """Axis labels present in the grid, in first-seen order."""
+    seen: List[str] = []
+    for (_, label) in grid:
+        if label not in seen:
+            seen.append(label)
+    return seen
+
+
+def benchmarks_of(grid: ResultGrid) -> List[str]:
+    """Benchmarks present in the grid, in first-seen order."""
+    seen: List[str] = []
+    for (bench, _) in grid:
+        if bench not in seen:
+            seen.append(bench)
+    return seen

@@ -1,0 +1,178 @@
+"""Thread-pipelining scheduler: composes iteration timings across TUs.
+
+Implements the execution model of Figure 2 as a pipeline schedule over
+iterations.  For iteration *i* (global index), assigned round-robin to
+TU ``i mod T``:
+
+* **fork**: iteration *i* is forked at the end of iteration *i-1*'s
+  continuation stage and pays the fork delay plus per-value forwarding
+  cost (§4.1) — also guaranteeing that continuation stages of adjacent
+  threads never overlap (§2.2);
+* **TU availability**: a TU can start a new iteration only after its
+  previous iteration's write-back completes (the head thread must
+  retire before its unit is reused);
+* **cross-iteration dependences**: the computation stage may not finish
+  before the upstream thread has produced the target-store data it
+  consumes; the region's ``dep_coupling`` locates that production point
+  inside the upstream computation stage;
+* **in-order write-back**: write-back stages are serialized in program
+  order (§2.2), preserving non-speculative memory state.
+
+At the loop exit the speculatively-forked successor threads are either
+killed instantly (``orig``) or marked *wrong* and allowed to run on
+(§3.1.2) — overlapping the following sequential region, to which they
+add no cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..common.errors import SimulationError
+from ..core.thread_unit import ThreadUnit
+from ..workloads.program import ParallelRegionSpec, SequentialRegionSpec
+from ..workloads.tracegen import TraceGenerator
+from .machine import Machine
+
+__all__ = ["RegionResult", "Scheduler"]
+
+
+@dataclass
+class RegionResult:
+    """Timing outcome of one region execution (one invocation)."""
+
+    name: str
+    kind: str  # "parallel" | "sequential"
+    cycles: float
+    invocation: int
+    iterations: int = 0
+    wrong_thread_loads: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+class Scheduler:
+    """Drives a :class:`Machine` through a program's regions."""
+
+    __slots__ = ("machine", "tracegen")
+
+    def __init__(self, machine: Machine, tracegen: TraceGenerator) -> None:
+        self.machine = machine
+        self.tracegen = tracegen
+
+    # ------------------------------------------------------------------
+    # parallel regions
+    # ------------------------------------------------------------------
+
+    def run_parallel_region(
+        self, region: ParallelRegionSpec, invocation: int
+    ) -> RegionResult:
+        """Execute one invocation of a parallelized loop."""
+        machine = self.machine
+        tracegen = self.tracegen
+        n_tus = machine.n_tus
+        lo, hi = region.global_iter_range(invocation)
+        if hi <= lo:
+            raise SimulationError(f"region {region.name}: empty iteration range")
+
+        tu_free = [0.0] * n_tus
+        prev_cont_end = 0.0
+        prev_comp_end = 0.0
+        prev_comp_len = 0.0
+        prev_wb_end = 0.0
+        prev_targets: Optional[np.ndarray] = None
+        region_end = 0.0
+        coupling = region.dep_coupling
+        multi_tu = n_tus > 1
+
+        for i in range(lo, hi):
+            tu = machine.tu_for_iteration(i)
+            trace = tracegen.iteration_trace(region, i)
+            timing = tu.execute_iteration(
+                region,
+                i,
+                trace,
+                tracegen,
+                upstream_targets=(
+                    prev_targets.tolist() if prev_targets is not None else None
+                ),
+            )
+            if i == lo:
+                start = tu_free[tu.tu_id]
+            else:
+                fork_at = prev_cont_end
+                fork_cost = tu.fork_cost(trace.n_forward_values) if multi_tu else 0.0
+                start = max(fork_at + fork_cost, tu_free[tu.tu_id])
+            cont_end = start + timing.continuation
+            tsag_end = cont_end + timing.tsag
+            # Cross-iteration dependence: the upstream thread produces the
+            # forwarded data `coupling` of the way *from the end* of its
+            # computation stage; downstream computation cannot complete
+            # earlier than that production point plus its own work.
+            if i > lo and coupling > 0.0:
+                dep_ready = prev_comp_end - (1.0 - coupling) * prev_comp_len
+                comp_start = max(tsag_end, dep_ready)
+            else:
+                comp_start = tsag_end
+            comp_end = comp_start + timing.computation
+            wb_start = max(comp_end, prev_wb_end)
+            wb_end = wb_start + timing.writeback
+
+            tu_free[tu.tu_id] = wb_end
+            prev_cont_end = cont_end
+            prev_comp_end = comp_end
+            prev_comp_len = timing.computation
+            prev_wb_end = wb_end
+            if wb_end > region_end:
+                region_end = wb_end
+            prev_targets = trace.store_addrs[trace.tstore_mask]
+
+        # Loop exit: the head thread aborts its speculative successors.
+        wrong_loads = 0
+        if machine.cfg.wrong_exec.wrong_thread and multi_tu:
+            # Successor threads were forked for iterations hi, hi+1, ...;
+            # instead of dying they run on as wrong threads (§3.1.2),
+            # overlapping the following sequential code at zero cost.
+            for k in range(n_tus - 1):
+                wrong_iter = hi + k
+                tu = machine.tu_for_iteration(wrong_iter)
+                wrong_loads += tu.run_wrong_thread(region, wrong_iter, tracegen)
+        machine.set_head((hi - 1) % n_tus)
+
+        return RegionResult(
+            name=region.name,
+            kind="parallel",
+            cycles=region_end,
+            invocation=invocation,
+            iterations=hi - lo,
+            wrong_thread_loads=wrong_loads,
+        )
+
+    # ------------------------------------------------------------------
+    # sequential regions
+    # ------------------------------------------------------------------
+
+    def run_sequential_region(
+        self, region: SequentialRegionSpec, invocation: int
+    ) -> RegionResult:
+        """Execute one invocation of a sequential section on the head TU."""
+        machine = self.machine
+        tracegen = self.tracegen
+        tu = machine.tus[machine.head_tu]
+        lo, hi = region.global_chunk_range(invocation)
+        cycles = 0.0
+        for c in range(lo, hi):
+            trace = tracegen.chunk_trace(region, c)
+            timing = tu.execute_sequential_chunk(
+                region, c, trace, tracegen, update_bus=machine.bus
+            )
+            cycles += timing.total
+        return RegionResult(
+            name=region.name,
+            kind="sequential",
+            cycles=cycles,
+            invocation=invocation,
+            iterations=hi - lo,
+        )

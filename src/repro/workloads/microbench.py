@@ -1,0 +1,210 @@
+"""Pure-pattern microbenchmarks for controlled mechanism studies.
+
+The six SPEC-like models mix several access patterns per program, which
+is right for reproducing the paper but awkward for answering questions
+like "how much of the WEC's gain on streams comes from chaining vs
+wrong-thread seeding?".  Each microbenchmark here exercises *one*
+memory behaviour through the full machine (parallel region + sequential
+glue), with the same wrong-execution plumbing as the real models:
+
+``stream``
+    block-granular sequential walk, re-streamed every invocation —
+    isolates next-line chaining and wrong-thread stream seeding;
+``stream-cold``
+    the same walk but never revisited — isolates prefetch timeliness;
+``chase``
+    a pointer chase over a never-revisited region — isolates valid
+    wrong-path chase-ahead (the mcf mechanism); next-line prefetching
+    gets nothing (128-byte nodes, heads only);
+``random``
+    uniform touches over an L2-resident table — largely incompressible
+    misses; a lower-bound workload for any prefetcher;
+``mixed``
+    one part each of stream, chase and random.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..common.errors import WorkloadError
+from ..isa.cfg import BlockSpec, BranchSpec, IterationCFG, MemSlot
+from ..isa.encoding import StageSplit
+from ..isa.instructions import InstrClass
+from .patterns import (
+    AddressPattern,
+    PointerChasePattern,
+    RandomPattern,
+    SequentialPattern,
+)
+from .program import (
+    ParallelRegionSpec,
+    Program,
+    SequentialRegionSpec,
+    WrongExecProfile,
+)
+
+__all__ = ["MICROBENCH_NAMES", "build_microbenchmark"]
+
+MICROBENCH_NAMES: Tuple[str, ...] = (
+    "stream",
+    "stream-cold",
+    "chase",
+    "random",
+    "mixed",
+)
+
+KB = 1024
+_BASE = 0x7000_0000
+_MIX = {InstrClass.IALU: 0.8, InstrClass.OTHER: 0.2}
+
+
+def _data_patterns(kind: str, iters: int, n_inv: int) -> Dict[str, AddressPattern]:
+    touched = iters * 4 * 64  # 4 block-granular touches per iteration
+    if kind == "stream":
+        data: AddressPattern = SequentialPattern(
+            "mb.data", _BASE, touched, stride=64, per_iter=4
+        )
+    elif kind == "stream-cold":
+        data = SequentialPattern(
+            "mb.data", _BASE, touched * n_inv * 2, stride=64, per_iter=4
+        )
+    elif kind == "chase":
+        data = PointerChasePattern(
+            "mb.data", _BASE, n_nodes=iters * 4 * n_inv * 2,
+            node_size=128, per_iter=4, seed=77,
+        )
+    elif kind == "random":
+        data = RandomPattern("mb.data", _BASE, 96 * KB, granule=64, salt=7)
+    else:
+        raise WorkloadError(f"unknown microbenchmark kind {kind!r}")
+    return {
+        "mb.data": data,
+        "mb.out": SequentialPattern(
+            "mb.out", _BASE + 0x0800_0000, 16 * KB, stride=8, per_iter=1
+        ),
+        "mb.poll": RandomPattern(
+            "mb.poll", _BASE + 0x1000_0000, 48 * KB, granule=64, salt=13
+        ),
+    }
+
+
+def _mixed_patterns(iters: int, n_inv: int) -> Dict[str, AddressPattern]:
+    touched = iters * 2 * 64
+    return {
+        "mb.stream": SequentialPattern(
+            "mb.stream", _BASE, touched, stride=64, per_iter=2
+        ),
+        "mb.chase": PointerChasePattern(
+            "mb.chase", _BASE + 0x0400_0000, n_nodes=iters * 1 * n_inv * 2,
+            node_size=128, per_iter=1, seed=79,
+        ),
+        "mb.random": RandomPattern(
+            "mb.random", _BASE + 0x0800_0000, 48 * KB, granule=64, salt=7
+        ),
+        "mb.out": SequentialPattern(
+            "mb.out", _BASE + 0x0C00_0000, 16 * KB, stride=8, per_iter=1
+        ),
+        "mb.poll": RandomPattern(
+            "mb.poll", _BASE + 0x1000_0000, 48 * KB, granule=64, salt=13
+        ),
+    }
+
+
+def build_microbenchmark(
+    kind: str,
+    iters_per_invocation: int = 200,
+    n_invocations: int = 4,
+    wrong_exec: WrongExecProfile = WrongExecProfile(
+        wp_mean_loads=3.0, wp_max_loads=8, p_convergent=0.6,
+        wp_lookahead=12, wth_fraction=0.7, wth_max_iters=1,
+    ),
+) -> Program:
+    """Build one single-pattern microbenchmark program.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`MICROBENCH_NAMES`.
+    iters_per_invocation:
+        Parallel-loop trip count per invocation (sets the footprint for
+        footprint-proportional kinds).
+    n_invocations:
+        Outer re-entries; the first is typically used as warm-up.
+    wrong_exec:
+        Wrong-execution profile for the parallel region.
+    """
+    if kind not in MICROBENCH_NAMES:
+        raise WorkloadError(
+            f"unknown microbenchmark {kind!r}; choose from {MICROBENCH_NAMES}"
+        )
+    if iters_per_invocation < 8:
+        raise WorkloadError("need at least 8 iterations per invocation")
+
+    if kind == "mixed":
+        patterns = _mixed_patterns(iters_per_invocation, n_invocations)
+        slots = (
+            MemSlot("mb.stream"), MemSlot("mb.chase"),
+            MemSlot("mb.random"), MemSlot("mb.stream"),
+            MemSlot("mb.out", is_store=True, is_target_store=True),
+        )
+    else:
+        patterns = _data_patterns(kind, iters_per_invocation, n_invocations)
+        slots = (
+            MemSlot("mb.data"), MemSlot("mb.data"),
+            MemSlot("mb.data"), MemSlot("mb.data"),
+            MemSlot("mb.out", is_store=True, is_target_store=True),
+        )
+
+    cfg = IterationCFG(
+        entry="head",
+        blocks=[
+            BlockSpec(
+                "head",
+                n_instr=24,
+                mix_weights=_MIX,
+                mem_slots=slots[:3],
+                branch=BranchSpec(0.88, "tail", "tail", noise=0.08),
+            ),
+            BlockSpec(
+                "tail",
+                n_instr=20,
+                mix_weights=_MIX,
+                mem_slots=slots[3:],
+            ),
+        ],
+    )
+    region = ParallelRegionSpec(
+        name=f"micro.{kind}",
+        cfg=cfg,
+        patterns=patterns,
+        iters_per_invocation=iters_per_invocation,
+        stage_split=StageSplit(0.05, 0.05, 0.85, 0.05),
+        ilp=2.5,
+        dep_coupling=0.05,
+        code_footprint=2 * KB,
+        pollution_pattern="mb.poll",
+        wrong_exec=wrong_exec,
+    )
+    # A minimal sequential shim between invocations (the head thread has
+    # to run *something* for wrong threads to overlap with).
+    glue_cfg = IterationCFG(
+        entry="g",
+        blocks=[
+            BlockSpec(
+                "g",
+                n_instr=30,
+                mix_weights=_MIX,
+                mem_slots=(MemSlot("mb.out"), MemSlot("mb.out", is_store=True)),
+            )
+        ],
+        pc_base=0x900000,
+    )
+    glue = SequentialRegionSpec(
+        name=f"micro.{kind}.glue",
+        cfg=glue_cfg,
+        patterns=patterns,
+        chunks_per_invocation=max(4, iters_per_invocation // 10),
+        ilp=2.0,
+    )
+    return Program(f"micro.{kind}", [glue, region], n_invocations)

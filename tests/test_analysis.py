@@ -1,0 +1,147 @@
+"""Tests for analysis helpers: speedups, tables, charts, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plots import bar_chart, grouped_bar_chart
+from repro.analysis.report import ExperimentRecord, ShapeCheck, render_report
+from repro.analysis.speedup import (
+    normalized_times,
+    relative_speedups,
+    speedup_table_rows,
+    suite_average_speedup_pct,
+)
+from repro.common.errors import AnalysisError
+from repro.sim.results import SimResult
+from repro.sim.tables import TextTable, format_pct, format_ratio
+
+
+def result(bench, config, cycles):
+    return SimResult(
+        benchmark=bench, config=config, n_tus=8,
+        total_cycles=cycles, parallel_cycles=cycles / 2,
+        sequential_cycles=cycles / 2, instructions=1000,
+        seed=1, scale=0.1,
+    )
+
+
+@pytest.fixture
+def grid():
+    return {
+        ("a", "orig"): result("a", "orig", 100.0),
+        ("a", "wec"): result("a", "wec", 80.0),
+        ("b", "orig"): result("b", "orig", 200.0),
+        ("b", "wec"): result("b", "wec", 100.0),
+    }
+
+
+class TestSpeedupHelpers:
+    def test_relative_speedups(self, grid):
+        rs = relative_speedups(grid, "orig", "wec")
+        assert rs["a"] == pytest.approx(25.0)
+        assert rs["b"] == pytest.approx(100.0)
+
+    def test_suite_average_is_harmonic(self, grid):
+        # speedups 1.25 and 2.0 -> harmonic mean = 2/(0.8+0.5) ≈ 1.538.
+        avg = suite_average_speedup_pct(grid, "orig", "wec")
+        assert avg == pytest.approx((2 / (1 / 1.25 + 1 / 2.0) - 1) * 100)
+
+    def test_normalized_times(self, grid):
+        nt = normalized_times(grid, "orig", "wec")
+        assert nt["a"] == pytest.approx(0.8)
+        assert nt["b"] == pytest.approx(0.5)
+
+    def test_table_rows_include_average(self, grid):
+        rows = speedup_table_rows(grid, "orig")
+        names = [name for name, _ in rows]
+        assert names == ["a", "b", "average"]
+        assert "wec" in rows[0][1]
+        assert "orig" not in rows[0][1]
+
+    def test_missing_label_raises(self, grid):
+        with pytest.raises(AnalysisError):
+            relative_speedups(grid, "orig", "ghost")
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable("Figure X", ["bench", "speedup"])
+        t.add_row(["mcf", "+18.5%"])
+        t.add_row(["vpr", None])
+        out = t.render()
+        assert "Figure X" in out
+        assert "+18.5%" in out
+        assert "-" in out
+        lines = out.splitlines()
+        assert all(len(l) <= max(len(x) for x in lines) for l in lines)
+
+    def test_row_width_mismatch(self):
+        t = TextTable("t", ["a", "b"])
+        with pytest.raises(AnalysisError):
+            t.add_row(["only-one"])
+
+    def test_float_formatting(self):
+        t = TextTable("t", ["a"])
+        t.add_row([1.23456])
+        assert "1.23" in t.render()
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(AnalysisError):
+            TextTable("t", [])
+
+    def test_format_helpers(self):
+        assert format_pct(9.7) == "+9.7%"
+        assert format_pct(9.7, signed=False) == "9.7%"
+        assert format_pct(None) == "-"
+        assert format_ratio(1.5) == "1.50"
+        assert format_ratio(None) == "-"
+
+
+class TestCharts:
+    def test_bar_chart(self):
+        out = bar_chart("speedups", {"mcf": 18.5, "vpr": -2.0})
+        assert "mcf" in out and "+18.5%" in out
+        assert "-2.0%" in out
+        # negative bars use a distinct fill
+        assert "-" in out.splitlines()[2]
+
+    def test_bar_chart_empty(self):
+        with pytest.raises(AnalysisError):
+            bar_chart("x", {})
+
+    def test_grouped(self):
+        out = grouped_bar_chart(
+            "fig", ["mcf"], {"wec": {"mcf": 10.0}, "nlp": {"mcf": 5.0}}
+        )
+        assert "wec" in out and "nlp" in out
+
+    def test_grouped_empty(self):
+        with pytest.raises(AnalysisError):
+            grouped_bar_chart("fig", [], {})
+
+
+class TestReport:
+    def test_record_render(self):
+        rec = ExperimentRecord(
+            exp_id="Figure 11",
+            title="Configuration speedups",
+            workload="6 benchmarks, 8 TUs",
+            bench_target="benchmarks/bench_fig11_configs.py",
+        )
+        rec.add_check("wec beats nlp", "9.7 > 5.5", "9.2 > 5.1", True)
+        rec.add_check("mcf is max", "18.5", "25.0", False)
+        out = rec.render()
+        assert "[PASS]" in out and "[FAIL]" in out
+        assert not rec.passed
+
+    def test_render_report(self):
+        rec = ExperimentRecord("T2", "Table 2", "static", "bench_tables.py")
+        rec.add_check("fractions", "x", "x", True)
+        out = render_report([rec], header="# Experiments")
+        assert "1/1 experiments" in out
+        assert "# Experiments" in out
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_report([])

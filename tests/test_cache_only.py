@@ -1,0 +1,64 @@
+"""Tests for the cache-only fast replay mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimParams
+from repro.sim.cache_only import replay_cache_only
+from repro.sim.driver import run_simulation
+from repro.sta.configs import named_config
+from repro.workloads.benchmarks import build_benchmark
+
+SCALE = 3e-5
+PARAMS = SimParams(seed=9, scale=SCALE)
+
+
+class TestEquivalence:
+    """Cache-only replay must reproduce the timed simulator's memory
+    statistics exactly — same traces, same replay order, same policies."""
+
+    @pytest.mark.parametrize("config", ["orig", "wth-wp-wec", "nlp", "vc"])
+    def test_matches_timed_run(self, config):
+        prog = build_benchmark("175.vpr", SCALE)
+        timed = run_simulation(prog, named_config(config), PARAMS)
+        fast = replay_cache_only(prog, named_config(config), PARAMS)
+        assert fast.l1_misses == timed.l1_misses
+        assert fast.effective_misses == timed.effective_misses
+        assert fast.sidecar_hits == timed.sidecar_hits
+        assert fast.useful_wrong_hits == timed.useful_wrong_hits
+        assert fast.prefetches == timed.prefetches
+        assert fast.l2_accesses == timed.l2_accesses
+        assert fast.l2_misses == timed.l2_misses
+
+    def test_wrong_thread_loads_match(self):
+        prog = build_benchmark("181.mcf", SCALE)
+        cfg = named_config("wth-wp-wec")
+        timed = run_simulation(prog, cfg, PARAMS)
+        fast = replay_cache_only(prog, cfg, PARAMS)
+        assert fast.wrong_loads == timed.wrong_loads
+
+
+class TestInterface:
+    def test_accepts_name(self):
+        r = replay_cache_only("164.gzip", named_config("orig"), PARAMS)
+        assert r.benchmark == "164.gzip"
+        assert r.loads > 0
+
+    def test_rates(self):
+        r = replay_cache_only("164.gzip", named_config("orig"), PARAMS)
+        assert 0.0 < r.l1_miss_rate < 1.0
+        assert r.effective_miss_rate <= r.l1_miss_rate
+
+    def test_counters_exported(self):
+        r = replay_cache_only("164.gzip", named_config("orig"), PARAMS)
+        assert any(k.startswith("l2.") for k in r.counters)
+
+    def test_orig_has_no_wrong_activity(self):
+        r = replay_cache_only("164.gzip", named_config("orig"), PARAMS)
+        assert r.wrong_loads == 0 and r.wrong_fills == 0
+
+    def test_deterministic(self):
+        a = replay_cache_only("175.vpr", named_config("nlp"), PARAMS)
+        b = replay_cache_only("175.vpr", named_config("nlp"), PARAMS)
+        assert a.counters == b.counters

@@ -1,0 +1,82 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--benchmark", "mcf"])
+        assert args.config == "wth-wp-wec"
+        assert args.scale == 2e-4
+        assert args.tus == 8
+
+    def test_run_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--benchmark", "mcf", "--config", "magic"]
+            )
+
+    def test_compare_config_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--benchmark", "vpr", "--configs", "vc,nlp"]
+        )
+        assert args.configs == "vc,nlp"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "181.mcf" in out
+        assert "wth-wp-wec" in out
+
+    def test_run(self, capsys):
+        rc = main(
+            ["run", "--benchmark", "gzip", "--config", "orig",
+             "--scale", "2e-5", "--tus", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "ipc" in out
+
+    def test_run_wec_reports_wrong_loads(self, capsys):
+        main(["run", "--benchmark", "gzip", "--config", "wth-wp-wec",
+              "--scale", "2e-5", "--tus", "2"])
+        assert "wrong loads" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(
+            ["compare", "--benchmark", "vpr", "--configs", "vc",
+             "--scale", "2e-5", "--tus", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "vc" in out
+
+    def test_compare_unknown_config(self, capsys):
+        rc = main(
+            ["compare", "--benchmark", "vpr", "--configs", "vc,nosuch",
+             "--scale", "2e-5"]
+        )
+        assert rc == 2
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_suite(self, capsys):
+        rc = main(["suite", "--config", "vc", "--scale", "1e-5", "--tus", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "average" in out
+        for bench in ("175.vpr", "177.mesa"):
+            assert bench in out

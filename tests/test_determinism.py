@@ -1,0 +1,153 @@
+"""End-to-end determinism and robustness (failure-injection) tests.
+
+The reproduction methodology depends on two forms of determinism —
+bit-identical re-runs, and identical correct-path workloads across
+machine configurations — plus graceful behaviour at parameter extremes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import SimParams
+from repro.common.errors import ReproError
+from repro.sim.driver import run_program, run_simulation
+from repro.sta.configs import CONFIG_NAMES, named_config
+from repro.workloads.benchmarks import build_benchmark
+from repro.workloads.microbench import build_microbenchmark
+
+SCALE = 3e-5
+
+
+class TestBitwiseDeterminism:
+    def test_rerun_identical(self):
+        params = SimParams(seed=1, scale=SCALE)
+        a = run_simulation("197.parser", named_config("wth-wp-wec"), params)
+        b = run_simulation("197.parser", named_config("wth-wp-wec"), params)
+        assert a.total_cycles == b.total_cycles
+        assert a.counters == b.counters
+
+    def test_program_rebuild_identical(self):
+        """Building the program twice must not change anything."""
+        params = SimParams(seed=1, scale=SCALE)
+        a = run_program(build_benchmark("175.vpr", SCALE),
+                        named_config("nlp"), params)
+        b = run_program(build_benchmark("175.vpr", SCALE),
+                        named_config("nlp"), params)
+        assert a.total_cycles == b.total_cycles
+
+    def test_config_order_does_not_leak(self):
+        """Simulating other configurations in between must not change a
+        run (no hidden global state)."""
+        params = SimParams(seed=1, scale=SCALE)
+        prog = build_benchmark("164.gzip", SCALE)
+        first = run_program(prog, named_config("wth-wp-wec"), params)
+        for name in ("orig", "nlp", "vc"):
+            run_program(prog, named_config(name), params)
+        again = run_program(prog, named_config("wth-wp-wec"), params)
+        assert first.total_cycles == again.total_cycles
+
+    def test_seed_changes_results(self):
+        a = run_simulation("164.gzip", named_config("orig"),
+                           SimParams(seed=1, scale=SCALE))
+        b = run_simulation("164.gzip", named_config("orig"),
+                           SimParams(seed=2, scale=SCALE))
+        assert a.total_cycles != b.total_cycles
+
+
+class TestCrossConfigWorkloadInvariance:
+    @pytest.mark.parametrize("bench", ["175.vpr", "181.mcf"])
+    def test_all_configs_same_correct_path(self, bench):
+        params = SimParams(seed=3, scale=SCALE)
+        prog = build_benchmark(bench, SCALE)
+        results = [
+            run_program(prog, named_config(name), params)
+            for name in CONFIG_NAMES
+        ]
+        assert len({r.instructions for r in results}) == 1
+        assert len({r.branches for r in results}) == 1
+        assert len({r.l1_traffic - r.wrong_loads for r in results}) == 1
+
+
+class TestParameterExtremes:
+    """Failure injection: the simulator must behave sanely at the edges
+    of its parameter space, not crash or emit nonsense."""
+
+    def test_tiny_scale(self):
+        r = run_simulation("181.mcf", named_config("orig"),
+                           SimParams(seed=1, scale=1e-6))
+        assert r.total_cycles > 0
+        assert r.instructions > 0
+
+    def test_single_tu_machine(self):
+        r = run_simulation("175.vpr", named_config("wth-wp-wec", n_tus=1),
+                           SimParams(seed=1, scale=SCALE))
+        assert r.wrong_thread_loads == 0  # no successors to mark wrong
+
+    def test_many_tus(self):
+        r = run_simulation("164.gzip", named_config("orig", n_tus=32),
+                           SimParams(seed=1, scale=SCALE))
+        assert r.total_cycles > 0
+
+    def test_one_entry_sidecar(self):
+        r = run_simulation(
+            "181.mcf", named_config("wth-wp-wec", sidecar_entries=1),
+            SimParams(seed=1, scale=SCALE),
+        )
+        assert r.total_cycles > 0
+
+    def test_huge_sidecar(self):
+        params = SimParams(seed=1, scale=SCALE)
+        prog = build_benchmark("181.mcf", SCALE)
+        base = run_program(prog, named_config("orig"), params)
+        big = run_program(
+            prog, named_config("wth-wp-wec", sidecar_entries=4096), params
+        )
+        # A WEC as big as the whole footprint can only help.
+        assert big.total_cycles < base.total_cycles
+
+    def test_mlp_cap_one_slows_down(self):
+        prog = build_benchmark("181.mcf", SCALE)
+        fast = run_program(prog, named_config("orig"),
+                           SimParams(seed=1, scale=SCALE, mlp_cap=4.0))
+        slow = run_program(prog, named_config("orig"),
+                           SimParams(seed=1, scale=SCALE, mlp_cap=1.0))
+        assert slow.total_cycles > fast.total_cycles
+
+    def test_zero_warmup_works(self):
+        r = run_simulation("175.vpr", named_config("orig"),
+                           SimParams(seed=1, scale=SCALE,
+                                     warmup_invocations=0))
+        assert r.total_cycles > 0
+
+    def test_zero_port_charge_boosts_plain_wrong_exec(self):
+        prog = build_benchmark("181.mcf", SCALE)
+        charged = run_program(
+            prog, named_config("wth-wp"),
+            SimParams(seed=1, scale=SCALE, wrong_fill_mshr_fraction=0.75),
+        )
+        free = run_program(
+            prog, named_config("wth-wp"),
+            SimParams(seed=1, scale=SCALE, wrong_fill_mshr_fraction=0.0),
+        )
+        assert free.total_cycles < charged.total_cycles
+
+    def test_microbench_scale_independent_of_simparams_scale(self):
+        # Microbenchmarks size themselves by iteration count, not scale.
+        prog = build_microbenchmark("stream", iters_per_invocation=20)
+        r = run_program(prog, named_config("orig"),
+                        SimParams(seed=1, scale=1.0))
+        assert r.instructions > 0
+
+    def test_all_library_errors_derive_from_reproerror(self):
+        from repro.common.errors import (
+            AnalysisError,
+            ConfigError,
+            SimulationError,
+            WorkloadError,
+        )
+
+        for exc in (AnalysisError, ConfigError, SimulationError, WorkloadError):
+            assert issubclass(exc, ReproError)

@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples must run and tell their story.
+
+Each example is executed in a subprocess (as a user would run it) with
+a generous timeout; we assert on the presence of the key output lines
+rather than exact numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "181.mcf" in out
+        assert "speedup" in out
+        assert "wrong-thread loads" in out
+
+    def test_wrong_execution_anatomy(self):
+        out = run_example("wrong_execution_anatomy.py", "175.vpr")
+        assert "configuration ladder" in out
+        assert "wth-wp-wec" in out
+        assert "nlp" in out
+        assert "Reading guide:" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py")
+        assert "custom stencil workload" in out
+        assert "baseline" in out
+
+    def test_design_space_sweep_small(self):
+        out = run_example("design_space_sweep.py", "2e-5")
+        assert "suite-average speedup" in out
+        assert "WEC 8" in out
+        assert "beats" in out or "does not beat" in out

@@ -1,0 +1,43 @@
+"""Headline-number regression guard at the calibrated scale.
+
+The bench suite asserts the full figure set; this (slow) test pins just
+the three headline quantities under plain ``pytest tests/`` so that a
+change which silently breaks the reproduction cannot land green.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimParams, build_benchmark, named_config, run_program
+from repro.analysis.speedup import suite_average_speedup_pct
+
+BENCHES = ("175.vpr", "164.gzip", "181.mcf", "197.parser",
+           "183.equake", "177.mesa")
+
+
+@pytest.mark.slow
+def test_headline_numbers_in_band():
+    params = SimParams(seed=2003, scale=2e-4)
+    grid = {}
+    for bench in BENCHES:
+        prog = build_benchmark(bench, params.scale)
+        for cfg in ("orig", "wth-wp-wec", "nlp"):
+            grid[(bench, cfg)] = run_program(prog, named_config(cfg), params)
+
+    wec_avg = suite_average_speedup_pct(grid, "orig", "wth-wp-wec")
+    nlp_avg = suite_average_speedup_pct(grid, "orig", "nlp")
+    mcf = grid[("181.mcf", "wth-wp-wec")].relative_speedup_pct_vs(
+        grid[("181.mcf", "orig")]
+    )
+
+    # Paper: +9.7% / +5.5% / +18.5%.  Bands leave room for small model
+    # changes while catching real regressions.
+    assert 6.0 < wec_avg < 14.0, f"wec suite average drifted: {wec_avg:+.1f}%"
+    assert 2.5 < nlp_avg < 9.0, f"nlp suite average drifted: {nlp_avg:+.1f}%"
+    assert nlp_avg < wec_avg, "nlp must not beat the WEC on average"
+    assert 13.0 < mcf < 26.0, f"mcf wec gain drifted: {mcf:+.1f}%"
+    assert mcf == max(
+        grid[(b, "wth-wp-wec")].relative_speedup_pct_vs(grid[(b, "orig")])
+        for b in BENCHES
+    ), "mcf must remain the largest WEC winner"

@@ -1,0 +1,141 @@
+"""End-to-end integration tests: paper-level behaviours must hold.
+
+These run real benchmark models (at a reduced scale) through full
+machine configurations and assert the *qualitative* results the paper
+reports — the same shape checks EXPERIMENTS.md records at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheConfig, SimParams
+from repro.sim.driver import run_program, run_simulation
+from repro.sta.configs import named_config, table3_config
+from repro.workloads.benchmarks import build_benchmark
+
+SCALE = 1e-4
+PARAMS = SimParams(seed=2003, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def mcf_runs():
+    prog = build_benchmark("181.mcf", SCALE)
+    return {
+        name: run_program(prog, named_config(name), PARAMS)
+        for name in ("orig", "vc", "wth-wp", "wth-wp-wec", "nlp")
+    }
+
+
+class TestHeadlineResults:
+    def test_wec_speeds_up_mcf_substantially(self, mcf_runs):
+        pct = mcf_runs["wth-wp-wec"].relative_speedup_pct_vs(mcf_runs["orig"])
+        assert pct > 8.0  # paper: 18.5% at full scale
+
+    def test_wec_beats_victim_cache(self, mcf_runs):
+        wec = mcf_runs["wth-wp-wec"].relative_speedup_pct_vs(mcf_runs["orig"])
+        vc = mcf_runs["vc"].relative_speedup_pct_vs(mcf_runs["orig"])
+        assert wec > vc + 3.0
+
+    def test_wec_beats_nlp_on_pointer_chasing(self, mcf_runs):
+        wec = mcf_runs["wth-wp-wec"].relative_speedup_pct_vs(mcf_runs["orig"])
+        nlp = mcf_runs["nlp"].relative_speedup_pct_vs(mcf_runs["orig"])
+        assert wec > nlp  # next-line prefetching cannot chase pointers
+
+    def test_wrong_execution_alone_is_marginal(self, mcf_runs):
+        """§5.2.2: wp/wth without a WEC give little benefit — pollution
+        and port contention offset the prefetching."""
+        wthwp = mcf_runs["wth-wp"].relative_speedup_pct_vs(mcf_runs["orig"])
+        wec = mcf_runs["wth-wp-wec"].relative_speedup_pct_vs(mcf_runs["orig"])
+        assert wthwp < wec / 2
+
+    def test_wec_reduces_misses(self, mcf_runs):
+        assert mcf_runs["wth-wp-wec"].miss_reduction_pct_vs(mcf_runs["orig"]) > 5.0
+
+    def test_wrong_execution_increases_traffic(self, mcf_runs):
+        assert mcf_runs["wth-wp-wec"].traffic_increase_pct_vs(mcf_runs["orig"]) > 5.0
+
+
+class TestWorkloadInvariance:
+    def test_correct_path_identical_across_configs(self, mcf_runs):
+        """The same program must execute the same correct-path work on
+        every machine configuration (the paper's same-binary premise)."""
+        insns = {name: r.instructions for name, r in mcf_runs.items()}
+        assert len(set(insns.values())) == 1
+        branches = {name: r.branches for name, r in mcf_runs.items()}
+        assert len(set(branches.values())) == 1
+
+    def test_correct_loads_and_stores_identical(self, mcf_runs):
+        def correct_traffic(r):
+            return r.l1_traffic - r.wrong_loads
+
+        vals = {correct_traffic(r) for r in mcf_runs.values()}
+        assert len(vals) == 1
+
+
+class TestSensitivities:
+    def test_larger_l1_is_faster(self):
+        prog = build_benchmark("197.parser", SCALE)
+        times = []
+        for kb in (4, 8, 32):
+            cfg = named_config(
+                "orig",
+                l1d=CacheConfig(size=kb * 1024, assoc=1, block_size=64, name="l1d"),
+            )
+            times.append(run_program(prog, cfg, PARAMS).total_cycles)
+        assert times[0] > times[-1]
+
+    def test_vc_benefit_shrinks_with_associativity_wec_persists(self):
+        """Figure 12: at 4-way associativity the victim cache's benefit
+        largely disappears while the WEC still provides significant
+        speedup."""
+        prog = build_benchmark("164.gzip", SCALE)
+        vc_gain = {}
+        wec_gain = {}
+        for assoc in (1, 4):
+            l1 = CacheConfig(size=8 * 1024, assoc=assoc, block_size=64, name="l1d")
+            base = run_program(prog, named_config("orig", l1d=l1), PARAMS)
+            vc = run_program(prog, named_config("vc", l1d=l1), PARAMS)
+            wec = run_program(prog, named_config("wth-wp-wec", l1d=l1), PARAMS)
+            vc_gain[assoc] = vc.relative_speedup_pct_vs(base)
+            wec_gain[assoc] = wec.relative_speedup_pct_vs(base)
+        assert vc_gain[4] < vc_gain[1]
+        assert wec_gain[4] > 3.0
+        assert wec_gain[4] > vc_gain[4] + 2.0
+
+    def test_bigger_wec_not_slower(self):
+        prog = build_benchmark("181.mcf", SCALE)
+        base = run_program(prog, named_config("orig"), PARAMS)
+        small = run_program(prog, named_config("wth-wp-wec", sidecar_entries=4), PARAMS)
+        big = run_program(prog, named_config("wth-wp-wec", sidecar_entries=16), PARAMS)
+        assert big.relative_speedup_pct_vs(base) >= (
+            small.relative_speedup_pct_vs(base) - 1.0
+        )
+
+
+class TestThreadScaling:
+    def test_gzip_scales_with_tus(self):
+        """Figure 8: gzip is TLP-rich — 16 single-issue TUs far exceed
+        one 16-issue core on the parallelized portions."""
+        prog = build_benchmark("164.gzip", SCALE)
+        base = run_program(prog, table3_config(1, single_issue_baseline=True), PARAMS)
+        wide = run_program(prog, table3_config(1), PARAMS)
+        many = run_program(prog, table3_config(16), PARAMS)
+        assert many.parallel_speedup_vs(base) > wide.parallel_speedup_vs(base)
+        assert many.parallel_speedup_vs(base) > 8.0
+
+    def test_vpr_prefers_ilp(self):
+        """Figure 8: vpr is ILP-rich and TLP-poor — the wide core beats
+        the 16-TU machine on the parallelized portions."""
+        prog = build_benchmark("175.vpr", SCALE)
+        base = run_program(prog, table3_config(1, single_issue_baseline=True), PARAMS)
+        wide = run_program(prog, table3_config(1), PARAMS)
+        many = run_program(prog, table3_config(16), PARAMS)
+        assert wide.parallel_speedup_vs(base) > many.parallel_speedup_vs(base)
+
+    def test_wec_gain_present_at_one_tu(self):
+        """Figure 9: even a single TU benefits (wrong-path only)."""
+        prog = build_benchmark("183.equake", SCALE)
+        base = run_program(prog, named_config("orig", n_tus=1), PARAMS)
+        wec = run_program(prog, named_config("wth-wp-wec", n_tus=1), PARAMS)
+        assert wec.relative_speedup_pct_vs(base) > 0.0

@@ -1,0 +1,126 @@
+"""Regression tests pinning every §4.1/§5.2 machine constant.
+
+If someone "tunes" a paper-specified value, these tests catch it.  The
+calibrated modelling knobs (DESIGN.md §6) are deliberately *not* pinned
+here — they are documented as free parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import MachineConfig, SimParams
+from repro.core.timing import STORE_STALL_WEIGHT
+from repro.sta.configs import named_config
+from repro.workloads.benchmarks import BENCHMARK_INFO, N_INVOCATIONS
+
+
+class TestSection41Constants:
+    """§4.1 — thread unit parameters."""
+
+    def setup_method(self):
+        self.cfg = MachineConfig()
+
+    def test_btb_1024_entries_4way(self):
+        assert self.cfg.tu.branch.btb_entries == 1024
+        assert self.cfg.tu.branch.btb_assoc == 4
+
+    def test_speculative_memory_buffer_128_entries(self):
+        assert self.cfg.tu.mem_buffer_entries == 128
+
+    def test_l1i_32k_2way(self):
+        assert self.cfg.tu.l1i.size == 32 * 1024
+        assert self.cfg.tu.l1i.assoc == 2
+
+    def test_l2_512k_4way_128b(self):
+        assert self.cfg.mem.l2.size == 512 * 1024
+        assert self.cfg.mem.l2.assoc == 4
+        assert self.cfg.mem.l2.block_size == 128
+
+    def test_memory_round_trip_200(self):
+        assert self.cfg.mem.memory_latency == 200
+
+    def test_fork_delay_4_plus_2_per_value(self):
+        assert self.cfg.fork_delay == 4
+        assert self.cfg.comm_cycles_per_value == 2
+
+
+class TestSection52Defaults:
+    """§5.2 — the default machine for the WEC experiments."""
+
+    def setup_method(self):
+        self.cfg = named_config("wth-wp-wec")
+
+    def test_eight_tus_eight_issue(self):
+        assert self.cfg.n_thread_units == 8
+        assert self.cfg.tu.issue_width == 8
+
+    def test_rob_and_lsq_64(self):
+        assert self.cfg.tu.rob_size == 64
+        assert self.cfg.tu.lsq_size == 64
+
+    def test_fu_mix_8_4_8_4(self):
+        fu = self.cfg.tu.func_units
+        assert (fu.int_alu, fu.int_mult, fu.fp_alu, fu.fp_mult) == (8, 4, 8, 4)
+
+    def test_l1d_8k_direct_mapped_64b(self):
+        assert self.cfg.tu.l1d.size == 8 * 1024
+        assert self.cfg.tu.l1d.assoc == 1
+        assert self.cfg.tu.l1d.block_size == 64
+
+    def test_wec_8_entries(self):
+        assert self.cfg.tu.sidecar.entries == 8
+
+
+class TestTable2Constants:
+    """Table 2 — dynamic instruction counts carried verbatim."""
+
+    @pytest.mark.parametrize(
+        "name,whole,targeted",
+        [
+            ("175.vpr", 1126.5, 97.2),
+            ("164.gzip", 1550.7, 243.6),
+            ("181.mcf", 601.6, 217.3),
+            ("197.parser", 514.0, 88.6),
+            ("183.equake", 716.3, 152.6),
+            ("177.mesa", 1832.1, 319.0),
+        ],
+    )
+    def test_instruction_counts(self, name, whole, targeted):
+        info = BENCHMARK_INFO[name]
+        assert info.whole_minstr == whole
+        assert info.targeted_minstr == targeted
+
+    @pytest.mark.parametrize(
+        "name,fraction",
+        [
+            ("175.vpr", 0.086),
+            ("164.gzip", 0.157),
+            ("181.mcf", 0.361),
+            ("197.parser", 0.172),
+            ("183.equake", 0.213),
+            ("177.mesa", 0.174),
+        ],
+    )
+    def test_parallel_fractions(self, name, fraction):
+        assert BENCHMARK_INFO[name].fraction_parallelized == pytest.approx(
+            fraction, abs=0.002
+        )
+
+
+class TestModelConstantsDocumented:
+    """The free modelling knobs exist, with their calibrated defaults."""
+
+    def test_simparams_knobs(self):
+        p = SimParams()
+        assert p.wrong_fill_mshr_fraction == pytest.approx(0.75)
+        assert p.prefetch_late_cycles == pytest.approx(6.0)
+        assert p.prefetch_late_far_cycles == pytest.approx(150.0)
+        assert p.warmup_invocations == 1
+        assert p.mlp_cap == pytest.approx(4.0)
+
+    def test_store_stall_weight(self):
+        assert STORE_STALL_WEIGHT == pytest.approx(0.2)
+
+    def test_four_invocations(self):
+        assert N_INVOCATIONS == 4

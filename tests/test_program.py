@@ -1,0 +1,151 @@
+"""Tests for the program/region representation and benchmark metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.cfg import BlockSpec, BranchSpec, IterationCFG, MemSlot
+from repro.workloads.patterns import RandomPattern
+from repro.workloads.program import (
+    BenchmarkInfo,
+    ParallelRegionSpec,
+    Program,
+    SequentialRegionSpec,
+    WrongExecProfile,
+)
+
+
+def simple_cfg():
+    return IterationCFG(
+        entry="a",
+        blocks=[BlockSpec("a", 10, mem_slots=(MemSlot("p"),))],
+    )
+
+
+def patterns():
+    return {"p": RandomPattern("p", 0, 4096, stagger=False),
+            "poll": RandomPattern("poll", 8192, 4096, stagger=False)}
+
+
+def par_region(**kw):
+    defaults = dict(
+        name="r",
+        cfg=simple_cfg(),
+        patterns=patterns(),
+        iters_per_invocation=10,
+    )
+    defaults.update(kw)
+    return ParallelRegionSpec(**defaults)
+
+
+def seq_region(**kw):
+    defaults = dict(
+        name="s",
+        cfg=simple_cfg(),
+        patterns=patterns(),
+        chunks_per_invocation=5,
+    )
+    defaults.update(kw)
+    return SequentialRegionSpec(**defaults)
+
+
+class TestWrongExecProfile:
+    def test_defaults_valid(self):
+        WrongExecProfile()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(wp_mean_loads=-1),
+            dict(p_convergent=1.5),
+            dict(wp_lookahead=0),
+            dict(wth_fraction=-0.1),
+            dict(wth_max_iters=-1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WrongExecProfile(**kwargs)
+
+
+class TestParallelRegionSpec:
+    def test_valid(self):
+        r = par_region(pollution_pattern="poll")
+        assert r.iters_per_invocation == 10
+
+    def test_unknown_pattern_in_cfg(self):
+        cfg = IterationCFG(
+            entry="a", blocks=[BlockSpec("a", 5, mem_slots=(MemSlot("ghost"),))]
+        )
+        with pytest.raises(WorkloadError):
+            par_region(cfg=cfg)
+
+    def test_unknown_pollution_pattern(self):
+        with pytest.raises(WorkloadError):
+            par_region(pollution_pattern="ghost")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(iters_per_invocation=0), dict(dep_coupling=1.5), dict(ilp=0)],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(WorkloadError):
+            par_region(**kwargs)
+
+    def test_global_iter_range(self):
+        r = par_region(iters_per_invocation=10)
+        assert r.global_iter_range(0) == (0, 10)
+        assert r.global_iter_range(3) == (30, 40)
+
+
+class TestSequentialRegionSpec:
+    def test_valid(self):
+        s = seq_region()
+        assert s.global_chunk_range(2) == (10, 15)
+
+    def test_unknown_pollution(self):
+        with pytest.raises(WorkloadError):
+            seq_region(pollution_pattern="ghost")
+
+    def test_zero_chunks(self):
+        with pytest.raises(WorkloadError):
+            seq_region(chunks_per_invocation=0)
+
+
+class TestProgram:
+    def test_schedule_order(self):
+        p = Program("t", [seq_region(), par_region()], n_invocations=2)
+        order = [(inv, r.name) for inv, r in p.schedule()]
+        assert order == [(0, "s"), (0, "r"), (1, "s"), (1, "r")]
+
+    def test_region_kind_accessors(self):
+        p = Program("t", [seq_region(), par_region()], 1)
+        assert [r.name for r in p.parallel_regions] == ["r"]
+        assert [r.name for r in p.sequential_regions] == ["s"]
+
+    def test_duplicate_region_names(self):
+        with pytest.raises(WorkloadError):
+            Program("t", [par_region(), par_region()], 1)
+
+    def test_empty_body(self):
+        with pytest.raises(WorkloadError):
+            Program("t", [], 1)
+
+    def test_zero_invocations(self):
+        with pytest.raises(WorkloadError):
+            Program("t", [par_region()], 0)
+
+    def test_repr_shows_structure(self):
+        p = Program("t", [seq_region(), par_region()], 3)
+        assert "SP" in repr(p) and "3" in repr(p)
+
+
+class TestBenchmarkInfo:
+    def test_fraction(self):
+        info = BenchmarkInfo("x", "INT", "test", 100.0, 25.0)
+        assert info.fraction_parallelized == pytest.approx(0.25)
+
+    def test_targeted_cannot_exceed_whole(self):
+        with pytest.raises(WorkloadError):
+            BenchmarkInfo("x", "INT", "test", 100.0, 150.0)

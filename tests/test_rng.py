@@ -1,0 +1,92 @@
+"""Tests for deterministic RNG stream management."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import StreamFactory, stable_hash32
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash32("mcf/loads") == stable_hash32("mcf/loads")
+
+    def test_distinct_names_distinct_hashes(self):
+        names = [f"stream{i}" for i in range(100)]
+        assert len({stable_hash32(n) for n in names}) == 100
+
+    def test_32bit_range(self):
+        for name in ("", "a", "x" * 1000):
+            h = stable_hash32(name)
+            assert 0 <= h <= 0xFFFFFFFF
+
+
+class TestStreamFactory:
+    def test_same_seed_same_draws(self):
+        a = StreamFactory(42).stream("x").integers(0, 1 << 30, 16)
+        b = StreamFactory(42).stream("x").integers(0, 1 << 30, 16)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = StreamFactory(1).stream("x").integers(0, 1 << 30, 16)
+        b = StreamFactory(2).stream("x").integers(0, 1 << 30, 16)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        f = StreamFactory(42)
+        a = f.stream("a").integers(0, 1 << 30, 16)
+        b = f.stream("b").integers(0, 1 << 30, 16)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        f = StreamFactory(42)
+        assert f.stream("x") is f.stream("x")
+
+    def test_stream_state_advances(self):
+        f = StreamFactory(42)
+        first = f.stream("x").integers(0, 1 << 30, 8)
+        second = f.stream("x").integers(0, 1 << 30, 8)
+        assert not np.array_equal(first, second)
+
+    def test_fresh_resets_state(self):
+        f = StreamFactory(42)
+        a = f.fresh("x").integers(0, 1 << 30, 8)
+        b = f.fresh("x").integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_fresh_matches_initial_stream_state(self):
+        a = StreamFactory(42).stream("x").integers(0, 1 << 30, 8)
+        b = StreamFactory(42).fresh("x").integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_draw_order_does_not_perturb_other_streams(self):
+        # Consuming stream "a" heavily must not change stream "b".
+        f1 = StreamFactory(9)
+        f1.stream("a").integers(0, 10, 1000)
+        b1 = f1.stream("b").integers(0, 1 << 30, 8)
+        f2 = StreamFactory(9)
+        b2 = f2.stream("b").integers(0, 1 << 30, 8)
+        assert np.array_equal(b1, b2)
+
+    def test_child_factories_independent(self):
+        f = StreamFactory(42)
+        c1 = f.child("alpha").stream("x").integers(0, 1 << 30, 8)
+        c2 = f.child("beta").stream("x").integers(0, 1 << 30, 8)
+        assert not np.array_equal(c1, c2)
+
+    def test_child_deterministic(self):
+        a = StreamFactory(42).child("w").stream("x").integers(0, 1 << 30, 8)
+        b = StreamFactory(42).child("w").stream("x").integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+
+    def test_seed_property(self):
+        assert StreamFactory(123).seed == 123
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.text(min_size=1, max_size=30))
+    def test_any_seed_name_works(self, seed, name):
+        g = StreamFactory(seed).stream(name)
+        vals = g.random(4)
+        assert np.all((0 <= vals) & (vals < 1))

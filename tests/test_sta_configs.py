@@ -1,0 +1,117 @@
+"""Tests for the §4.3 named configurations and Table 3 design points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SidecarKind
+from repro.common.errors import ConfigError
+from repro.sta.configs import CONFIG_NAMES, TABLE3_ROWS, named_config, table3_config
+
+
+class TestNamedConfigs:
+    def test_all_eight_exist(self):
+        assert len(CONFIG_NAMES) == 8
+        for name in CONFIG_NAMES:
+            cfg = named_config(name)
+            assert cfg.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            named_config("wec-2000")
+
+    def test_defaults_match_section_5_2(self):
+        cfg = named_config("orig")
+        assert cfg.n_thread_units == 8
+        assert cfg.tu.issue_width == 8
+        assert cfg.tu.rob_size == 64
+        assert cfg.tu.lsq_size == 64
+        assert cfg.tu.l1d.size == 8 * 1024
+        assert cfg.tu.l1d.assoc == 1
+        assert cfg.tu.l1d.block_size == 64
+        assert cfg.mem.l2.size == 512 * 1024
+        fu = cfg.tu.func_units
+        assert (fu.int_alu, fu.int_mult, fu.fp_alu, fu.fp_mult) == (8, 4, 8, 4)
+
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("orig", SidecarKind.NONE),
+            ("vc", SidecarKind.VICTIM),
+            ("wp", SidecarKind.NONE),
+            ("wth", SidecarKind.NONE),
+            ("wth-wp", SidecarKind.NONE),
+            ("wth-wp-vc", SidecarKind.VICTIM),
+            ("wth-wp-wec", SidecarKind.WEC),
+            ("nlp", SidecarKind.PREFETCH),
+        ],
+    )
+    def test_sidecars(self, name, kind):
+        assert named_config(name).tu.sidecar.kind is kind
+
+    @pytest.mark.parametrize(
+        "name,wp,wth",
+        [
+            ("orig", False, False),
+            ("vc", False, False),
+            ("wp", True, False),
+            ("wth", False, True),
+            ("wth-wp", True, True),
+            ("wth-wp-vc", True, True),
+            ("wth-wp-wec", True, True),
+            ("nlp", False, False),
+        ],
+    )
+    def test_wrong_execution_matrix(self, name, wp, wth):
+        we = named_config(name).wrong_exec
+        assert we.wrong_path is wp
+        assert we.wrong_thread is wth
+
+    def test_overrides(self):
+        from repro.common.config import CacheConfig
+
+        cfg = named_config(
+            "wth-wp-wec",
+            n_tus=4,
+            sidecar_entries=16,
+            l1d=CacheConfig(size=16 * 1024, assoc=4, block_size=64, name="l1d"),
+        )
+        assert cfg.n_thread_units == 4
+        assert cfg.tu.sidecar.entries == 16
+        assert cfg.tu.l1d.size == 16 * 1024
+        assert cfg.tu.l1d.assoc == 4
+
+
+class TestTable3:
+    def test_rows_keep_total_parallelism_16(self):
+        for tus, issue, *_ in TABLE3_ROWS[1:]:
+            assert tus * issue == 16
+
+    @pytest.mark.parametrize("n_tus,issue,l1kb", [(1, 16, 32), (2, 8, 16),
+                                                  (4, 4, 8), (8, 2, 4), (16, 1, 2)])
+    def test_design_points(self, n_tus, issue, l1kb):
+        cfg = table3_config(n_tus)
+        assert cfg.n_thread_units == n_tus
+        assert cfg.tu.issue_width == issue
+        assert cfg.tu.l1d.size == l1kb * 1024
+        assert cfg.tu.l1d.assoc == 4
+
+    def test_total_l1_constant(self):
+        for n in (1, 2, 4, 8, 16):
+            cfg = table3_config(n)
+            assert cfg.n_thread_units * cfg.tu.l1d.size == 32 * 1024
+
+    def test_single_issue_baseline(self):
+        cfg = table3_config(1, single_issue_baseline=True)
+        assert cfg.n_thread_units == 1
+        assert cfg.tu.issue_width == 1
+        assert cfg.tu.rob_size == 8
+        assert cfg.tu.l1d.size == 2 * 1024
+
+    def test_unknown_point(self):
+        with pytest.raises(ConfigError):
+            table3_config(3)
+
+    def test_no_wrong_execution_in_baseline_study(self):
+        for n in (1, 2, 4, 8, 16):
+            assert not table3_config(n).wrong_exec.any

@@ -1,0 +1,127 @@
+"""Tests for the mechanistic core timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import FuncUnitMix, SimParams, ThreadUnitConfig
+from repro.common.errors import SimulationError
+from repro.core.timing import STORE_STALL_WEIGHT, CoreTimingModel, IterationTiming
+from repro.isa.encoding import StageSplit
+from repro.isa.instructions import InstrClass, InstructionMix
+
+
+def model(issue=8, rob=64, lsq=64, mlp_cap=4.0, **fu):
+    cfg = ThreadUnitConfig(
+        issue_width=issue, rob_size=rob, lsq_size=lsq,
+        func_units=FuncUnitMix(**fu) if fu else FuncUnitMix(),
+    )
+    return CoreTimingModel(cfg, SimParams(mlp_cap=mlp_cap))
+
+
+def mix(ialu=80, load=10, store=5, branch=5, fpmult=0):
+    m = InstructionMix()
+    m.add(InstrClass.IALU, ialu)
+    m.add(InstrClass.LOAD, load)
+    m.add(InstrClass.STORE, store)
+    m.add(InstrClass.BRANCH, branch)
+    m.add(InstrClass.FPMULT, fpmult)
+    return m
+
+
+class TestBaseCycles:
+    def test_issue_limited(self):
+        m = model(issue=8)
+        # ILP 2 limits below the 8-wide issue.
+        assert m.base_cycles(mix(), ilp=2.0) == pytest.approx(100 / 2)
+
+    def test_width_limited(self):
+        m = model(issue=4)
+        assert m.base_cycles(mix(), ilp=16.0) == pytest.approx(100 / 4)
+
+    def test_fu_throughput_binds(self):
+        # 1 FP multiplier and 40 FP mults: at least 40 cycles.
+        m = model(issue=8, int_alu=8, int_mult=4, fp_alu=8, fp_mult=1)
+        heavy = mix(ialu=40, load=0, store=0, branch=0, fpmult=40)
+        assert m.base_cycles(heavy, ilp=16.0) >= 40.0
+
+    def test_empty_mix(self):
+        assert model().base_cycles(InstructionMix(), ilp=2.0) == 0.0
+
+    def test_nonpositive_ilp(self):
+        with pytest.raises(SimulationError):
+            model().base_cycles(mix(), ilp=0.0)
+
+
+class TestMLP:
+    def test_scales_with_rob(self):
+        assert model(rob=16).mlp == pytest.approx(1.0)
+        assert model(rob=32).mlp == pytest.approx(2.0)
+        assert model(rob=64).mlp == pytest.approx(4.0)
+
+    def test_capped(self):
+        assert model(rob=128, mlp_cap=4.0).mlp == pytest.approx(4.0)
+
+    def test_lsq_bounds(self):
+        assert model(rob=64, lsq=16).mlp == pytest.approx(2.0)
+
+    def test_floor_of_one(self):
+        assert model(issue=1, rob=8, lsq=8).mlp == pytest.approx(1.0)
+
+
+class TestIterationTiming:
+    def test_stage_assembly(self):
+        m = model(issue=8, rob=64)
+        split = StageSplit(0.1, 0.1, 0.7, 0.1)
+        t = m.iteration_timing(
+            mix=mix(),
+            ilp=4.0,
+            stage_split=split,
+            load_stall_sum=40.0,
+            store_stall_sum=10.0,
+            n_mispredicts=2,
+            mispredict_penalty=7,
+        )
+        base = 100 / 4
+        assert t.base_cycles == pytest.approx(base)
+        assert t.continuation == pytest.approx(0.1 * base)
+        assert t.mem_stall == pytest.approx(40.0 / 4.0)
+        assert t.branch_stall == pytest.approx(14.0)
+        assert t.store_stall == pytest.approx(10.0 * STORE_STALL_WEIGHT / 4.0)
+        # Memory and branch stalls land in the computation stage.
+        assert t.computation == pytest.approx(0.7 * base + 10.0 + 14.0)
+        # Store-commit stall lands in write-back.
+        assert t.writeback == pytest.approx(0.1 * base + t.store_stall)
+        assert t.total == pytest.approx(
+            t.continuation + t.tsag + t.computation + t.writeback
+        )
+
+    def test_ifetch_stall_included(self):
+        m = model()
+        t = m.iteration_timing(
+            mix=mix(), ilp=4.0, stage_split=StageSplit(),
+            load_stall_sum=0, store_stall_sum=0,
+            n_mispredicts=0, mispredict_penalty=7,
+            ifetch_stall_sum=33.0,
+        )
+        assert t.ifetch_stall == 33.0
+        assert t.computation >= 33.0
+
+    def test_more_stall_more_total(self):
+        m = model()
+        kwargs = dict(mix=mix(), ilp=4.0, stage_split=StageSplit(),
+                      n_mispredicts=0, mispredict_penalty=7, store_stall_sum=0)
+        low = m.iteration_timing(load_stall_sum=10.0, **kwargs)
+        high = m.iteration_timing(load_stall_sum=1000.0, **kwargs)
+        assert high.total > low.total
+
+    def test_wrong_path_load_count_recorded(self):
+        m = model()
+        t = m.iteration_timing(
+            mix=mix(), ilp=4.0, stage_split=StageSplit(),
+            load_stall_sum=0, store_stall_sum=0,
+            n_mispredicts=1, mispredict_penalty=7,
+            n_wrong_path_loads=5,
+        )
+        assert t.n_wrong_path_loads == 5
+        assert t.n_mispredicts == 1

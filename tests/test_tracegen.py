@@ -1,0 +1,219 @@
+"""Tests for dynamic trace generation and wrong-execution synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.rng import StreamFactory
+from repro.isa.cfg import BlockSpec, BranchSpec, IterationCFG, MemSlot
+from repro.workloads.patterns import RandomPattern, SequentialPattern
+from repro.workloads.program import (
+    ParallelRegionSpec,
+    SequentialRegionSpec,
+    WrongExecProfile,
+)
+from repro.workloads.tracegen import TraceGenerator, code_base_for
+
+
+def make_region(p_convergent=1.0, wp_mean=4.0, wth_fraction=1.0):
+    cfg = IterationCFG(
+        entry="a",
+        blocks=[
+            BlockSpec(
+                "a",
+                20,
+                mem_slots=(MemSlot("stream"), MemSlot("stream"), MemSlot("tab")),
+                branch=BranchSpec(0.6, "b", "b", noise=0.2),
+            ),
+            BlockSpec(
+                "b",
+                15,
+                mem_slots=(
+                    MemSlot("stream"),
+                    MemSlot("tab"),
+                    MemSlot("out", is_store=True, is_target_store=True),
+                ),
+            ),
+        ],
+    )
+    patterns = {
+        "stream": SequentialPattern("stream", 0x10000, 64 * 1024, stride=8,
+                                    per_iter=3, stagger=False),
+        "tab": RandomPattern("tab", 0x100000, 8 * 1024, stagger=False),
+        "out": SequentialPattern("out", 0x200000, 8 * 1024, stride=8,
+                                 per_iter=1, stagger=False),
+        "poll": RandomPattern("poll", 0x300000, 8 * 1024, stagger=False),
+    }
+    return ParallelRegionSpec(
+        name="test.region",
+        cfg=cfg,
+        patterns=patterns,
+        iters_per_invocation=16,
+        pollution_pattern="poll",
+        wrong_exec=WrongExecProfile(
+            wp_mean_loads=wp_mean, wp_max_loads=8, p_convergent=p_convergent,
+            wp_lookahead=8, wth_fraction=wth_fraction, wth_max_iters=1,
+        ),
+    )
+
+
+def make_seq_region():
+    cfg = IterationCFG(
+        entry="a",
+        blocks=[BlockSpec("a", 20, mem_slots=(MemSlot("stream"), MemSlot("stream")))],
+    )
+    return SequentialRegionSpec(
+        name="test.seq",
+        cfg=cfg,
+        patterns={
+            "stream": SequentialPattern("stream", 0, 64 * 1024, stride=8,
+                                        per_iter=2, stagger=False)
+        },
+        chunks_per_invocation=8,
+    )
+
+
+@pytest.fixture
+def tg():
+    return TraceGenerator(StreamFactory(11))
+
+
+class TestDeterminism:
+    def test_same_iteration_same_trace(self, tg):
+        region = make_region()
+        t1 = tg.iteration_trace(region, 5)
+        t2 = tg.iteration_trace(region, 5)
+        assert np.array_equal(t1.load_addrs, t2.load_addrs)
+        assert np.array_equal(t1.branch_taken, t2.branch_taken)
+
+    def test_independent_of_generation_order(self):
+        """The workload must be identical across machine configurations
+        regardless of how many other traces were generated in between."""
+        region = make_region()
+        a = TraceGenerator(StreamFactory(11))
+        for i in range(10):
+            a.iteration_trace(region, i)
+        t_after = a.iteration_trace(region, 42)
+        b = TraceGenerator(StreamFactory(11))
+        t_direct = b.iteration_trace(region, 42)
+        assert np.array_equal(t_after.load_addrs, t_direct.load_addrs)
+
+    def test_different_iterations_differ(self, tg):
+        region = make_region()
+        t1 = tg.iteration_trace(region, 0)
+        t2 = tg.iteration_trace(region, 1)
+        assert not np.array_equal(t1.load_addrs, t2.load_addrs)
+
+    def test_stage_split_propagates(self, tg):
+        region = make_region()
+        t = tg.iteration_trace(region, 0)
+        assert t.stage_split == region.stage_split
+        assert t.n_forward_values == region.n_forward_values
+
+
+class TestWrongPath:
+    def test_convergent_episode_targets_upcoming_loads(self, tg):
+        region = make_region(p_convergent=1.0)
+        trace = tg.iteration_trace(region, 3)
+        addrs = tg.wrong_path_addrs(region, trace, 0, 3)
+        future = set(int(a) for a in trace.load_addrs)
+        assert addrs, "expected some wrong-path loads"
+        assert all(a in future for a in addrs)
+
+    def test_convergent_loads_are_consecutive(self, tg):
+        region = make_region(p_convergent=1.0, wp_mean=6.0)
+        trace = tg.iteration_trace(region, 3)
+        addrs = tg.wrong_path_addrs(region, trace, 0, 3)
+        if len(addrs) >= 2:
+            loads = [int(a) for a in trace.load_addrs]
+            idxs = [loads.index(a) for a in addrs]
+            assert idxs == list(range(idxs[0], idxs[0] + len(idxs)))
+
+    def test_divergent_episode_uses_pollution(self, tg):
+        region = make_region(p_convergent=0.0)
+        trace = tg.iteration_trace(region, 3)
+        poll = region.patterns["poll"]
+        addrs = tg.wrong_path_addrs(region, trace, 0, 3)
+        assert addrs
+        assert all(poll.base <= a < poll.base + poll.size for a in addrs)
+
+    def test_future_loads_extend_pool(self, tg):
+        region = make_region(p_convergent=1.0, wp_mean=8.0)
+        trace = tg.iteration_trace(region, 3)
+        ext = np.array([0xABCD00, 0xABCD40], dtype=np.int64)
+        # Use the LAST branch so the intra-trace pool is nearly empty.
+        last = trace.n_branches - 1
+        found_ext = False
+        for trial in range(40):
+            addrs = tg.wrong_path_addrs(region, trace, last, 100 + trial,
+                                        future_loads=ext)
+            if any(a in (0xABCD00, 0xABCD40) for a in addrs):
+                found_ext = True
+                break
+        assert found_ext, "extended pool never reached"
+
+    def test_zero_mean_disables(self, tg):
+        region = make_region(wp_mean=0.0)
+        trace = tg.iteration_trace(region, 0)
+        assert tg.wrong_path_addrs(region, trace, 0, 0) == []
+
+    def test_deterministic_per_branch(self, tg):
+        region = make_region()
+        trace = tg.iteration_trace(region, 2)
+        a = tg.wrong_path_addrs(region, trace, 0, 2)
+        b = tg.wrong_path_addrs(region, trace, 0, 2)
+        assert a == b
+
+
+class TestWrongThread:
+    def test_extrapolation_matches_real_future_iteration(self, tg):
+        """The heart of wrong-thread prefetching: a wrong thread's loads
+        are exactly the loads the real future iteration would issue."""
+        region = make_region(wth_fraction=1.0)
+        wth = tg.wrong_thread_addrs(region, 99)
+        real = tg.iteration_trace(region, 99).load_addrs
+        assert np.array_equal(wth, real)
+
+    def test_fraction_truncates(self, tg):
+        region = make_region(wth_fraction=0.5)
+        wth = tg.wrong_thread_addrs(region, 50)
+        real = tg.iteration_trace(region, 50)
+        assert len(wth) == round(real.n_loads * 0.5)
+        assert np.array_equal(wth, real.load_addrs[: len(wth)])
+
+    def test_zero_fraction(self, tg):
+        region = make_region(wth_fraction=0.0)
+        assert len(tg.wrong_thread_addrs(region, 0)) == 0
+
+
+class TestSequentialAndIFetch:
+    def test_chunk_trace_cached(self, tg):
+        region = make_seq_region()
+        t1 = tg.chunk_trace(region, 4)
+        t2 = tg.chunk_trace(region, 4)
+        assert t1 is t2  # LRU cache returns the same object
+
+    def test_chunk_cache_bounded(self, tg):
+        region = make_seq_region()
+        for c in range(50):
+            tg.chunk_trace(region, c)
+        assert len(tg._chunk_cache) <= TraceGenerator._CACHE_SIZE
+
+    def test_ifetch_blocks_cycle_code_footprint(self, tg):
+        region = make_region()
+        blocks = tg.ifetch_blocks(region, n_instr=3200)
+        base = code_base_for(region.name)
+        assert np.all(blocks >= base)
+        assert np.all(blocks < base + region.code_footprint)
+        assert len(blocks) == 3200 // 16
+
+    def test_code_bases_distinct_per_region(self):
+        assert code_base_for("a") != code_base_for("b")
+        assert code_base_for("a") >= (1 << 40)  # above the data heap
+
+    def test_estimate_iteration_cost(self, tg):
+        region = make_region()
+        est = tg.estimate_iteration_cost(region, n_samples=64)
+        # Body is 20 (+branch) or 20+15+branch: expectation in between.
+        assert 21 <= est <= 36

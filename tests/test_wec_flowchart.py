@@ -1,0 +1,182 @@
+"""Exhaustive enumeration of the Figure 6 WEC access flowchart.
+
+Every path through the paper's flowchart gets its own test, with the
+cache state inspected before and after.  Block geometry: 4-block
+direct-mapped L1 (64B blocks), 2-entry WEC, so set conflicts are easy
+to construct (blocks b and b+4 collide).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    MemorySystemConfig,
+    SidecarConfig,
+    SidecarKind,
+)
+from repro.mem.cache import DIRTY, PREFETCHED, WRONG
+from repro.mem.hierarchy import HIT_LATENCY, TUMemSystem
+from repro.mem.l2 import SharedL2
+
+
+def addr(block: int) -> int:
+    return block * 64
+
+
+@pytest.fixture
+def mem():
+    l2 = SharedL2(
+        MemorySystemConfig(
+            l2=CacheConfig(size=32 * 1024, assoc=4, block_size=128,
+                           hit_latency=12, name="l2")
+        )
+    )
+    return TUMemSystem(
+        0,
+        CacheConfig(size=256, assoc=1, block_size=64, name="l1d"),
+        CacheConfig(size=1024, assoc=2, block_size=64, name="l1i"),
+        SidecarConfig(kind=SidecarKind.WEC, entries=2),
+        l2,
+    )
+
+
+class TestCorrectPathBranches:
+    """Left half of Figure 6: accesses from the correct execution path."""
+
+    def test_l1_hit_updates_lru_only(self, mem):
+        mem.load_correct(addr(0))
+        mem.load_correct(addr(1))
+        snapshot = dict(mem.l1d.resident_blocks())
+        lat = mem.load_correct(addr(0))
+        assert lat == HIT_LATENCY
+        assert dict(mem.l1d.resident_blocks()) == snapshot
+        assert len(mem.sidecar) == 0
+
+    def test_l1_miss_wec_miss_fills_l1_and_victim_caches(self, mem):
+        mem.load_correct(addr(0))
+        mem.load_correct(addr(4))  # conflict: evicts 0
+        assert 4 in mem.l1d
+        assert 0 not in mem.l1d
+        assert mem.sidecar.probe(0) is not None  # victim parked in WEC
+
+    def test_l1_miss_wec_hit_swaps_blocks(self, mem):
+        mem.load_correct(addr(0))
+        mem.load_correct(addr(4))   # 0 -> WEC
+        mem.load_correct(addr(0))   # swap back
+        assert 0 in mem.l1d
+        assert 4 not in mem.l1d
+        assert mem.sidecar.probe(4) is not None
+        assert mem.sidecar.probe(0) is None
+
+    def test_swap_preserves_dirty(self, mem):
+        mem.store_correct(addr(0))          # dirty
+        mem.load_correct(addr(4))           # dirty 0 -> WEC
+        assert mem.sidecar.probe(0) & DIRTY
+        mem.load_correct(addr(0))           # swap back
+        assert mem.l1d.probe(0) & DIRTY     # dirtiness survives the trip
+
+    def test_wec_hit_on_wrong_block_prefetches_next_line(self, mem):
+        mem.load_wrong(addr(8))
+        mem.load_correct(addr(8))
+        assert mem.sidecar.probe(9) is not None
+        assert mem.sidecar.probe(9) & PREFETCHED
+
+    def test_wec_hit_on_prefetched_block_extends_chain(self, mem):
+        mem.load_wrong(addr(8))
+        mem.load_correct(addr(8))   # prefetch 9
+        mem.load_correct(addr(9))   # hit prefetched 9: prefetch 10
+        assert mem.sidecar.probe(10) is not None
+
+    def test_wec_hit_on_plain_victim_no_prefetch(self, mem):
+        mem.load_correct(addr(0))
+        mem.load_correct(addr(4))
+        mem.load_correct(addr(0))   # victim recovery
+        assert mem.stats["prefetches"] == 0
+
+    def test_prefetch_skips_resident_target(self, mem):
+        mem.load_correct(addr(9))   # 9 resident in L1
+        mem.load_wrong(addr(8))
+        mem.load_correct(addr(8))   # would prefetch 9, but it's resident
+        assert mem.stats["prefetches"] == 0
+
+
+class TestWrongPathBranches:
+    """Right half of Figure 6: wrong-execution accesses."""
+
+    def test_wrong_l1_hit_no_state_change(self, mem):
+        mem.load_correct(addr(3))
+        wec_before = list(mem.sidecar.items())
+        lat = mem.load_wrong(addr(3))
+        assert lat == HIT_LATENCY
+        assert list(mem.sidecar.items()) == wec_before
+
+    def test_wrong_wec_hit_refreshes_lru(self, mem):
+        mem.load_wrong(addr(8))
+        mem.load_wrong(addr(9))     # WEC now [8, 9]
+        mem.load_wrong(addr(8))     # refresh 8
+        mem.load_wrong(addr(10))    # evicts 9
+        assert mem.sidecar.probe(8) is not None
+        assert mem.sidecar.probe(9) is None
+
+    def test_wrong_double_miss_fills_wec_marked_wrong(self, mem):
+        mem.load_wrong(addr(8))
+        assert mem.sidecar.probe(8) & WRONG
+        assert 8 not in mem.l1d
+
+    def test_wrong_fill_never_evicts_l1(self, mem):
+        for b in range(4):
+            mem.load_correct(addr(b))
+        l1_before = set(b for b, _ in mem.l1d.resident_blocks())
+        for b in range(8, 16):
+            mem.load_wrong(addr(b))
+        assert set(b for b, _ in mem.l1d.resident_blocks()) == l1_before
+
+    def test_wrong_fills_evict_each_other_in_wec(self, mem):
+        for b in range(8, 12):
+            mem.load_wrong(addr(b))
+        assert len(mem.sidecar) == 2  # capacity
+        assert mem.sidecar.probe(10) is not None
+        assert mem.sidecar.probe(11) is not None
+
+
+class TestStorePaths:
+    def test_store_miss_both_fills_l1_dirty(self, mem):
+        mem.store_correct(addr(0))
+        assert mem.l1d.probe(0) & DIRTY
+
+    def test_store_wec_hit_promotes_dirty_without_prefetch(self, mem):
+        mem.load_wrong(addr(8))
+        mem.store_correct(addr(8))
+        assert mem.l1d.probe(8) & DIRTY
+        assert mem.stats["prefetches"] == 0  # only loads trigger (paper)
+
+    def test_store_hit_sets_dirty_once(self, mem):
+        mem.store_correct(addr(0))
+        mem.store_correct(addr(0))
+        assert mem.l1d.probe(0) & DIRTY
+
+
+class TestWritebackPaths:
+    def test_dirty_wec_victim_written_back(self, mem):
+        mem.store_correct(addr(0))
+        mem.load_correct(addr(4))   # dirty 0 -> WEC
+        mem.load_wrong(addr(8))
+        mem.load_wrong(addr(9))     # bump dirty 0 out of 2-entry WEC
+        assert mem.stats["writebacks"] == 1
+
+    def test_clean_wec_victim_silent(self, mem):
+        mem.load_correct(addr(0))
+        mem.load_correct(addr(4))   # clean 0 -> WEC
+        mem.load_wrong(addr(8))
+        mem.load_wrong(addr(9))
+        assert mem.stats["writebacks"] == 0
+
+    def test_writeback_reaches_l2_dirty(self, mem):
+        mem.store_correct(addr(0))
+        mem.load_correct(addr(4))
+        mem.load_wrong(addr(8))
+        mem.load_wrong(addr(9))
+        l2block = mem.l2.cache.block_of(addr(0))
+        assert mem.l2.cache.probe(l2block) & DIRTY

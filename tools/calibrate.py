@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Calibration dashboard: Figure 11 + Figure 17 + core diagnostics.
+
+Run while tuning the benchmark models.  Prints, per benchmark:
+
+* the Figure 11 configuration speedups (8 TUs, vs ``orig``),
+* Figure 17's traffic increase / miss reduction,
+* diagnostics: IPC, mispredict rate, L1 miss rate, L2 miss rate.
+
+Paper targets are printed alongside for eyeballing.
+
+Usage: python tools/calibrate.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import CONFIG_NAMES, SimParams, named_config
+from repro.analysis.speedup import suite_average_speedup_pct
+from repro.sim.sweep import run_grid
+
+PAPER_FIG11 = {
+    # benchmark: (wec, nlp) approximate read-offs from Figure 11
+    "175.vpr": (5.0, 3.0),
+    "164.gzip": (8.0, 4.5),
+    "181.mcf": (18.5, 3.5),
+    "197.parser": (7.0, 4.0),
+    "183.equake": (13.0, 8.0),
+    "177.mesa": (9.0, 7.5),
+    "average": (9.7, 5.5),
+}
+
+PAPER_FIG17 = {
+    # benchmark: (traffic increase %, miss reduction %)
+    "175.vpr": (30.0, 55.0),
+    "164.gzip": (12.0, 60.0),
+    "181.mcf": (15.0, 42.0),
+    "197.parser": (12.0, 50.0),
+    "183.equake": (10.0, 55.0),
+    "177.mesa": (8.0, 73.0),
+    "average": (14.0, 57.0),
+}
+
+BENCH_ORDER = ["175.vpr", "164.gzip", "181.mcf", "197.parser", "183.equake", "177.mesa"]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-4
+    params = SimParams(seed=2003, scale=scale)
+    t0 = time.time()
+    configs = {name: named_config(name) for name in CONFIG_NAMES}
+    grid = run_grid(configs, benchmarks=BENCH_ORDER, params=params)
+
+    hdr = f"{'bench':12s}" + "".join(f"{c:>11s}" for c in CONFIG_NAMES if c != "orig")
+    print(hdr + f"{'[wec/nlp paper]':>18s}")
+    for b in BENCH_ORDER:
+        base = grid[(b, "orig")]
+        row = f"{b:12s}"
+        for c in CONFIG_NAMES:
+            if c == "orig":
+                continue
+            row += f"{grid[(b, c)].relative_speedup_pct_vs(base):+10.1f}%"
+        pw, pn = PAPER_FIG11[b]
+        print(row + f"   [{pw:+.1f}/{pn:+.1f}]")
+    row = f"{'average':12s}"
+    for c in CONFIG_NAMES:
+        if c == "orig":
+            continue
+        row += f"{suite_average_speedup_pct(grid, 'orig', c):+10.1f}%"
+    pw, pn = PAPER_FIG11["average"]
+    print(row + f"   [{pw:+.1f}/{pn:+.1f}]")
+
+    print()
+    print(f"{'bench':12s}{'traffic':>9s}{'missred':>9s}{'ipc':>7s}{'mr%':>7s}"
+          f"{'l1mr%':>8s}{'l2mr%':>8s}{'wloads':>8s}{'instr':>9s}   [paper tr/mred]")
+    for b in BENCH_ORDER:
+        base = grid[(b, "orig")]
+        wec = grid[(b, "wth-wp-wec")]
+        tr = wec.traffic_increase_pct_vs(base)
+        mred = wec.miss_reduction_pct_vs(base)
+        correct = base.l1_traffic  # orig has no wrong loads
+        l1mr = base.l1_misses / max(1, correct) * 100
+        l2mr = base.l2_misses / max(1, base.l2_accesses) * 100
+        pt, pm = PAPER_FIG17[b]
+        print(f"{b:12s}{tr:+8.1f}%{mred:+8.1f}%{base.ipc:7.2f}"
+              f"{base.mispredict_rate*100:6.1f}%{l1mr:7.2f}%{l2mr:7.1f}%"
+              f"{wec.wrong_loads:8d}{base.instructions:9d}"
+              f"   [{pt:+.0f}/{pm:+.0f}]")
+    print(f"\n{time.time()-t0:.1f}s, scale={params.scale}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Profile one simulation run (hpc-parallel guide: measure first).
+
+Prints the cProfile hot spots of a single (benchmark, configuration)
+simulation, so regressions in the replay loop are visible before they
+cost minutes across a figure sweep.
+
+Usage: python tools/profile_run.py [benchmark] [config] [scale]
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+
+from repro import SimParams, build_benchmark, named_config, run_program
+
+
+def main() -> int:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "181.mcf"
+    config = sys.argv[2] if len(sys.argv) > 2 else "wth-wp-wec"
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 2e-4
+
+    params = SimParams(seed=2003, scale=scale)
+    program = build_benchmark(bench, scale)
+    cfg = named_config(config)
+
+    t0 = time.perf_counter()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_program(program, cfg, params)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+
+    print(f"{bench} on {config}: {result.total_cycles:.0f} simulated cycles, "
+          f"{result.instructions} instructions, {wall:.2f}s wall")
+    print(f"simulation rate: {result.instructions / wall / 1e3:.0f} "
+          f"kinstr/s (timed instructions only)\n")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(18)
+    print("--- by self time ---")
+    stats.sort_stats("tottime").print_stats(12)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
