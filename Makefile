@@ -1,0 +1,25 @@
+# Convenience targets for the WEC reproduction.
+#
+#   make test         tier-1 suite (unit/property/integration tests)
+#   make bench-smoke  one figure bench at tiny scale through the
+#                     parallel executor path (jobs=2) — fast CI probe
+#   make bench        full figure/table regeneration at calibrated scale
+#   make calibrate    calibration dashboard (cached, parallel)
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke calibrate
+
+test:
+	$(PY) -m pytest -x -q
+
+bench-smoke:
+	REPRO_BENCH_SCALE=2e-5 REPRO_JOBS=2 REPRO_NO_CACHE=1 REPRO_BENCH_SMOKE=1 \
+	$(PY) -m pytest benchmarks/bench_fig11_configs.py --benchmark-only -q
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+calibrate:
+	$(PY) tools/calibrate.py --jobs 2

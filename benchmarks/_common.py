@@ -7,19 +7,34 @@ grid, prints the same rows/series the paper reports, and asserts the
 much, where crossovers fall).  Absolute cycle counts are not expected to
 match the authors' testbed.
 
-Simulation results are memoized per process so that figures sharing
-runs (e.g. Figures 9 and 10) do not repeat them.  Set the environment
-variable ``REPRO_BENCH_SCALE`` to change the instruction scale
-(default: the calibrated ``2e-4``).
+Simulation results are resolved through :mod:`repro.sim.executor`: a
+per-process memo (so figures sharing runs — e.g. Figures 9 and 10 — do
+not repeat them) backed by the persistent on-disk result cache under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), keyed by the full
+config/params dataclasses plus a code-version token.  Re-running a
+bench file on unchanged code is therefore near-instant; set
+``REPRO_NO_CACHE=1`` to force fresh simulations.  Bench files that run
+whole grids go through :func:`grid`, which fans cache misses out over
+``$REPRO_JOBS`` worker processes (default: serial).
+
+Set the environment variable ``REPRO_BENCH_SCALE`` to change the
+instruction scale (default: the calibrated ``2e-4``).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Tuple
 
-from repro import MachineConfig, SimParams, build_benchmark, run_program
+from repro import MachineConfig, SimParams
+from repro.sim.executor import (
+    SweepCell,
+    config_fingerprint,
+    default_jobs,
+    run_cells,
+)
 from repro.sim.results import SimResult
+from repro.workloads.benchmarks import build_benchmark
 from repro.workloads.program import Program
 
 BENCH_ORDER = (
@@ -52,25 +67,46 @@ def program(bench: str) -> Program:
 
 
 def config_key(cfg: MachineConfig) -> str:
-    """A stable identity for memoization across bench files."""
-    tu = cfg.tu
-    return (
-        f"{cfg.name}|tus={cfg.n_thread_units}|iw={tu.issue_width}"
-        f"|rob={tu.rob_size}"
-        f"|l1={tu.l1d.size}/{tu.l1d.assoc}/{tu.l1d.block_size}"
-        f"|side={tu.sidecar.kind.value}:{tu.sidecar.entries}"
-        f"|bp={tu.branch.kind}:{tu.branch.table_bits}"
-        f"|l2={cfg.mem.l2.size}/{cfg.mem.l2.assoc}"
-        f"|mem={cfg.mem.memory_latency}"
-    )
+    """A stable identity for memoization across bench files.
+
+    Derived from the *full* frozen configuration dataclass (the same
+    canonical hashing the persistent result cache uses), so two configs
+    differing in any knob — L2 latency, block sizes, memory ports,
+    stream-prefetcher parameters — can never alias to one memo entry.
+    """
+    return config_fingerprint(cfg)
 
 
 def run(bench: str, cfg: MachineConfig) -> SimResult:
-    """Memoized simulation of one (benchmark, configuration) pair."""
+    """Memoized, disk-cached simulation of one (benchmark, config) pair."""
     key = (bench, config_key(cfg))
     if key not in _results:
-        _results[key] = run_program(program(bench), cfg, _params)
+        outcome = run_cells([SweepCell(bench, cfg.name, cfg, _params)])
+        _results[key] = outcome.results[(bench, cfg.name)]
     return _results[key]
+
+
+def grid(
+    benchmarks: Iterable[str], configs: Mapping[str, MachineConfig]
+) -> Dict[Tuple[str, str], SimResult]:
+    """Resolve a whole benchmark × configuration grid in one call.
+
+    Cache misses fan out over ``$REPRO_JOBS`` worker processes; every
+    cell also lands in the per-process memo so later :func:`run` calls
+    for the same pairs are free.  Returns a ``(benchmark, label)``-keyed
+    grid exactly like :func:`repro.sim.sweep.run_grid`.
+    """
+    cells = [
+        SweepCell(bench, label, cfg, _params)
+        for bench in benchmarks
+        for label, cfg in configs.items()
+    ]
+    outcome = run_cells(cells, jobs=default_jobs())
+    for cell in cells:
+        _results[(cell.benchmark, config_key(cell.config))] = outcome.results[
+            cell.grid_key
+        ]
+    return outcome.results
 
 
 class ShapeChecks:
@@ -94,8 +130,17 @@ class ShapeChecks:
             print(line)
 
     def assert_all(self, tolerate: int = 0) -> None:
-        """Fail the bench if more than ``tolerate`` checks failed."""
+        """Fail the bench if more than ``tolerate`` checks failed.
+
+        With ``REPRO_BENCH_SMOKE=1`` the checks are reported but never
+        asserted: smoke runs exercise the sweep machinery at scales far
+        below the calibration point, where the figure shapes need not
+        (and do not) hold.
+        """
         self.report()
+        if os.environ.get("REPRO_BENCH_SMOKE", "") in ("1", "true", "yes"):
+            print(f"  (smoke mode: {len(self.failures)} failure(s) not asserted)")
+            return
         assert len(self.failures) <= tolerate, (
             f"{self.figure}: {len(self.failures)} shape check(s) failed: "
             f"{self.failures}"

@@ -15,17 +15,17 @@ from repro.analysis.plots import grouped_bar_chart
 from repro.analysis.speedup import suite_average_speedup_pct
 from repro.sim.tables import TextTable
 
-from _common import BENCH_ORDER, ShapeChecks, run, run_once
+from _common import BENCH_ORDER, ShapeChecks, grid as run_grid_cached, run_once
 
 NON_BASE = [c for c in CONFIG_NAMES if c != "orig"]
 
 
 def _sweep():
-    grid = {}
-    for bench in BENCH_ORDER:
-        for cfg_name in CONFIG_NAMES:
-            grid[(bench, cfg_name)] = run(bench, named_config(cfg_name))
-    return grid
+    # One executor call for the whole grid: disk-cached, and fanned out
+    # over $REPRO_JOBS worker processes on cold caches.
+    return run_grid_cached(
+        BENCH_ORDER, {name: named_config(name) for name in CONFIG_NAMES}
+    )
 
 
 def test_fig11_configuration_speedups(benchmark):

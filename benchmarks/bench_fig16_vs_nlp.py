@@ -12,21 +12,17 @@ from repro import named_config
 from repro.analysis.speedup import suite_average_speedup_pct
 from repro.sim.tables import TextTable
 
-from _common import BENCH_ORDER, ShapeChecks, run, run_once
+from _common import BENCH_ORDER, ShapeChecks, grid as run_grid_cached, run_once
 
 ENTRIES = (8, 16, 32)
 
 
 def _sweep():
-    grid = {}
-    for bench in BENCH_ORDER:
-        grid[(bench, "orig")] = run(bench, named_config("orig"))
-        for fam in ("nlp", "wth-wp-wec"):
-            for n in ENTRIES:
-                grid[(bench, f"{fam} {n}")] = run(
-                    bench, named_config(fam, sidecar_entries=n)
-                )
-    return grid
+    configs = {"orig": named_config("orig")}
+    for fam in ("nlp", "wth-wp-wec"):
+        for n in ENTRIES:
+            configs[f"{fam} {n}"] = named_config(fam, sidecar_entries=n)
+    return run_grid_cached(BENCH_ORDER, configs)
 
 
 def test_fig16_wec_vs_nlp(benchmark):

@@ -14,14 +14,18 @@ from repro.analysis.plots import bar_chart
 from repro.common.stats import arithmetic_mean
 from repro.sim.tables import TextTable
 
-from _common import BENCH_ORDER, ShapeChecks, run, run_once
+from _common import BENCH_ORDER, ShapeChecks, grid as run_grid_cached, run_once
 
 
 def _sweep():
+    g = run_grid_cached(
+        BENCH_ORDER,
+        {"orig": named_config("orig"), "wth-wp-wec": named_config("wth-wp-wec")},
+    )
     out = {}
     for bench in BENCH_ORDER:
-        base = run(bench, named_config("orig"))
-        wec = run(bench, named_config("wth-wp-wec"))
+        base = g[(bench, "orig")]
+        wec = g[(bench, "wth-wp-wec")]
         out[bench] = (
             wec.traffic_increase_pct_vs(base),
             wec.miss_reduction_pct_vs(base),

@@ -49,10 +49,12 @@ from .common.errors import (
     ConfigError,
     ReproError,
     SimulationError,
+    SweepError,
     WorkloadError,
 )
 from .sim.cache_only import replay_cache_only
 from .sim.driver import run_program, run_simulation
+from .sim.executor import SweepCell, run_cell, run_cells
 from .sim.results import SimResult
 from .sim.sweep import run_config_axis, run_grid
 from .sta.configs import CONFIG_NAMES, named_config, table3_config
@@ -77,10 +79,14 @@ __all__ = [
     "ConfigError",
     "ReproError",
     "SimulationError",
+    "SweepError",
     "WorkloadError",
     "replay_cache_only",
     "run_program",
     "run_simulation",
+    "SweepCell",
+    "run_cell",
+    "run_cells",
     "SimResult",
     "run_config_axis",
     "run_grid",

@@ -23,18 +23,22 @@ __all__ = [
 ]
 
 
+def _cell(grid: ResultGrid, bench: str, label: str) -> SimResult:
+    """The grid cell for ``(bench, label)``, or a named AnalysisError."""
+    result = grid.get((bench, label))
+    if result is None:
+        raise AnalysisError(f"grid is missing {bench} for {label!r}")
+    return result
+
+
 def relative_speedups(
     grid: ResultGrid, baseline_label: str, label: str
 ) -> Dict[str, float]:
     """Per-benchmark percent speedup of ``label`` over ``baseline_label``."""
     out: Dict[str, float] = {}
     for bench in benchmarks_of(grid):
-        base = grid.get((bench, baseline_label))
-        new = grid.get((bench, label))
-        if base is None or new is None:
-            raise AnalysisError(
-                f"grid is missing {bench} for {baseline_label!r} or {label!r}"
-            )
+        base = _cell(grid, bench, baseline_label)
+        new = _cell(grid, bench, label)
         out[bench] = new.relative_speedup_pct_vs(base)
     return out
 
@@ -50,14 +54,8 @@ def suite_average_speedup_pct(
     base_times: List[float] = []
     new_times: List[float] = []
     for bench in benchmarks_of(grid):
-        base = grid.get((bench, baseline_label))
-        new = grid.get((bench, label))
-        if base is None or new is None:
-            raise AnalysisError(
-                f"grid is missing {bench} for {baseline_label!r} or {label!r}"
-            )
-        base_times.append(base.total_cycles)
-        new_times.append(new.total_cycles)
+        base_times.append(_cell(grid, bench, baseline_label).total_cycles)
+        new_times.append(_cell(grid, bench, label).total_cycles)
     return (weighted_mean_speedup(base_times, new_times) - 1.0) * 100.0
 
 
@@ -67,12 +65,8 @@ def normalized_times(
     """Per-benchmark execution time normalized to the baseline label."""
     out: Dict[str, float] = {}
     for bench in benchmarks_of(grid):
-        base = grid.get((bench, baseline_label))
-        new = grid.get((bench, label))
-        if base is None or new is None:
-            raise AnalysisError(
-                f"grid is missing {bench} for {baseline_label!r} or {label!r}"
-            )
+        base = _cell(grid, bench, baseline_label)
+        new = _cell(grid, bench, label)
         out[bench] = new.normalized_time_vs(base)
     return out
 
@@ -89,9 +83,9 @@ def speedup_table_rows(
     ]
     rows: List[Tuple[str, Dict[str, float]]] = []
     for bench in benchmarks_of(grid):
-        base = grid[(bench, baseline_label)]
+        base = _cell(grid, bench, baseline_label)
         row = {
-            label: grid[(bench, label)].relative_speedup_pct_vs(base)
+            label: _cell(grid, bench, label).relative_speedup_pct_vs(base)
             for label in use_labels
         }
         rows.append((bench, row))

@@ -20,7 +20,12 @@ Examples
     python -m repro list
     python -m repro run --benchmark mcf --config wth-wp-wec
     python -m repro compare --benchmark equake --configs vc,wth-wp,wth-wp-wec,nlp
-    python -m repro suite --config wth-wp-wec --scale 1e-4
+    python -m repro suite --config wth-wp-wec --scale 1e-4 --jobs 4
+
+Sweeps resolve through the persistent result cache (``$REPRO_CACHE_DIR``,
+default ``~/.cache/repro``; bypass with ``--no-cache``) and fan cache
+misses out over ``--jobs`` worker processes; ``--manifest PATH`` writes a
+JSON run manifest with per-cell timing and cache hit/miss counts.
 """
 
 from __future__ import annotations
@@ -31,10 +36,11 @@ from typing import List, Optional
 
 from .analysis.speedup import suite_average_speedup_pct
 from .common.config import SimParams
-from .sim.driver import run_program
+from .sim.executor import default_jobs
+from .sim.sweep import run_grid
 from .sim.tables import TextTable
 from .sta.configs import CONFIG_NAMES, named_config
-from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_infos, build_benchmark
+from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_infos
 
 __all__ = ["main", "build_parser"]
 
@@ -58,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--seed", type=int, default=2003)
         sp.add_argument("--tus", type=int, default=8,
                         help="number of thread units (default 8)")
+        sp.add_argument("--jobs", type=int, default=default_jobs(),
+                        help="worker processes for the sweep "
+                             "(default $REPRO_JOBS or 1 = serial)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache "
+                             "($REPRO_CACHE_DIR, default ~/.cache/repro)")
+        sp.add_argument("--manifest", metavar="PATH", default=None,
+                        help="write a JSON run manifest (per-cell timing, "
+                             "cache hits/misses) to PATH")
 
     run_p = sub.add_parser("run", help="simulate one benchmark/config pair")
     run_p.add_argument("--benchmark", required=True)
@@ -99,9 +114,15 @@ def _cmd_list() -> int:
 
 def _cmd_run(args) -> int:
     params = SimParams(seed=args.seed, scale=args.scale)
-    program = build_benchmark(args.benchmark, args.scale)
     cfg = named_config(args.config, n_tus=args.tus)
-    result = run_program(program, cfg, params)
+    grid = run_grid(
+        {args.config: cfg},
+        benchmarks=[args.benchmark],
+        params=params,
+        cache=not args.no_cache,
+        manifest_path=args.manifest,
+    )
+    result = grid[(args.benchmark, args.config)]
     print(f"machine : {cfg.describe()}")
     print(f"result  : {result.total_cycles:.0f} cycles, ipc={result.ipc:.2f}")
     print(f"memory  : {result.effective_misses} effective misses, "
@@ -117,20 +138,30 @@ def _cmd_run(args) -> int:
 
 def _cmd_compare(args) -> int:
     params = SimParams(seed=args.seed, scale=args.scale)
-    program = build_benchmark(args.benchmark, args.scale)
     wanted = [c.strip() for c in args.configs.split(",") if c.strip()]
     unknown = [c for c in wanted if c not in CONFIG_NAMES]
     if unknown:
         print(f"unknown configuration(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    base = run_program(program, named_config("orig", n_tus=args.tus), params)
+    configs = {"orig": named_config("orig", n_tus=args.tus)}
+    for name in wanted:
+        configs[name] = named_config(name, n_tus=args.tus)
+    grid = run_grid(
+        configs,
+        benchmarks=[args.benchmark],
+        params=params,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        manifest_path=args.manifest,
+    )
+    base = grid[(args.benchmark, "orig")]
     t = TextTable(
-        f"{program.name} on {args.tus} TUs (vs orig)",
+        f"{args.benchmark} on {args.tus} TUs (vs orig)",
         ["config", "speedup", "misses", "miss red.", "traffic"],
     )
     t.add_row(["orig", "baseline", base.effective_misses, "-", "-"])
     for name in wanted:
-        r = run_program(program, named_config(name, n_tus=args.tus), params)
+        r = grid[(args.benchmark, name)]
         t.add_row([
             name,
             f"{r.relative_speedup_pct_vs(base):+.1f}%",
@@ -144,17 +175,24 @@ def _cmd_compare(args) -> int:
 
 def _cmd_suite(args) -> int:
     params = SimParams(seed=args.seed, scale=args.scale)
-    grid = {}
+    grid = run_grid(
+        {
+            "orig": named_config("orig", n_tus=args.tus),
+            args.config: named_config(args.config, n_tus=args.tus),
+        },
+        benchmarks=BENCHMARK_NAMES,
+        params=params,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        manifest_path=args.manifest,
+    )
     t = TextTable(
         f"suite: {args.config} vs orig ({args.tus} TUs, scale {args.scale:g})",
         ["benchmark", "orig cycles", f"{args.config} cycles", "speedup"],
     )
     for bench in BENCHMARK_NAMES:
-        program = build_benchmark(bench, args.scale)
-        base = run_program(program, named_config("orig", n_tus=args.tus), params)
-        new = run_program(program, named_config(args.config, n_tus=args.tus), params)
-        grid[(bench, "orig")] = base
-        grid[(bench, args.config)] = new
+        base = grid[(bench, "orig")]
+        new = grid[(bench, args.config)]
         t.add_row([
             bench,
             f"{base.total_cycles:.0f}",

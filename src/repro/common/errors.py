@@ -30,5 +30,23 @@ class WorkloadError(ReproError):
     """A workload/benchmark model was mis-specified or is unknown."""
 
 
+class SweepError(SimulationError):
+    """One or more cells of a sweep grid failed to execute.
+
+    Raised by :func:`repro.sim.executor.run_cells` (and therefore by
+    :func:`repro.sim.sweep.run_grid`) after the whole grid has been
+    attempted.  The message names every failing ``(benchmark, label)``
+    cell; ``failures`` holds the structured
+    :class:`~repro.sim.executor.CellFailure` records and ``outcome`` the
+    partial :class:`~repro.sim.executor.SweepOutcome` with every cell
+    that *did* complete.
+    """
+
+    def __init__(self, message: str, failures=None, outcome=None) -> None:
+        super().__init__(message)
+        self.failures = list(failures) if failures is not None else []
+        self.outcome = outcome
+
+
 class AnalysisError(ReproError):
     """Result post-processing failed (mismatched runs, empty input, ...)."""

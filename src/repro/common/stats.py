@@ -200,10 +200,16 @@ class Histogram:
         self.overflow += 1
 
     def fractions(self) -> List[float]:
-        """Per-bucket fraction of all observations (overflow excluded)."""
-        if self.total == 0:
+        """Per-bucket fraction of the in-range observations.
+
+        Overflow observations are excluded from the denominator as well
+        as the buckets, so the fractions sum to 1 whenever any in-range
+        observation exists.
+        """
+        in_range = self.total - self.overflow
+        if in_range <= 0:
             return [0.0] * len(self.edges)
-        return [c / self.total for c in self.counts]
+        return [c / in_range for c in self.counts]
 
     def merge_from(self, other: "Histogram") -> None:
         """Accumulate another histogram with identical edges."""

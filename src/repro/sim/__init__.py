@@ -2,6 +2,16 @@
 
 from .cache_only import CacheOnlyResult, replay_cache_only
 from .driver import run_program, run_simulation
+from .executor import (
+    DiskCache,
+    SweepCell,
+    SweepOutcome,
+    SweepStats,
+    cell_key,
+    config_fingerprint,
+    run_cell,
+    run_cells,
+)
 from .results import SimResult, require_same_workload
 from .sweep import (
     ResultGrid,
@@ -18,6 +28,14 @@ __all__ = [
     "replay_cache_only",
     "run_program",
     "run_simulation",
+    "DiskCache",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepStats",
+    "cell_key",
+    "config_fingerprint",
+    "run_cell",
+    "run_cells",
     "SimResult",
     "require_same_workload",
     "ResultGrid",

@@ -1,0 +1,589 @@
+"""Sweep execution engine: parallel fan-out plus a persistent result cache.
+
+Every figure and ablation in the reproduction is a (benchmark ×
+configuration) grid of *pure* simulations: ``run_program`` is a function
+of ``(benchmark name, MachineConfig, SimParams)`` and nothing else — the
+configuration dataclasses are frozen and every RNG stream is derived
+from ``params.seed``.  This module exploits that purity twice:
+
+* **Process fan-out** — grid cells are independent, so :func:`run_cells`
+  distributes them over a ``ProcessPoolExecutor``.  Each worker rebuilds
+  its own ``TraceGenerator`` from ``params.seed`` exactly as the serial
+  path does, so parallel results are bit-identical to serial ones.
+  When ``jobs <= 1``, only one cell needs executing, or the platform
+  cannot ``fork`` (the only start method that is safe without a
+  ``__main__`` guard), execution gracefully falls back to the serial
+  in-process path.
+
+* **Content-addressed caching** — a :class:`DiskCache` under
+  ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) persists every
+  :class:`~repro.sim.results.SimResult`, keyed by a SHA-256 over the
+  *complete* canonicalized config/params dataclasses plus a
+  code-version token (a hash of the installed ``repro`` sources).  Any
+  change to a config field or to the simulator invalidates exactly the
+  affected entries; re-running a bench file or tool on unchanged code
+  is near-instant.  Set ``REPRO_NO_CACHE=1`` (or pass ``cache=False``)
+  to bypass it.
+
+Observability: :func:`run_cells` returns a :class:`SweepOutcome` whose
+:class:`SweepStats` record per-cell wall-clock, cache hit/miss counts
+and worker failures keyed by the failing ``(benchmark, label)`` cell —
+never a bare traceback — and can be written out as a JSON run manifest.
+
+Quickstart::
+
+    from repro.sim.executor import SweepCell, run_cells
+
+    cells = [SweepCell("181.mcf", name, named_config(name), params)
+             for name in CONFIG_NAMES]
+    outcome = run_cells(cells, jobs=4)
+    outcome.results[("181.mcf", "wth-wp-wec")]   # -> SimResult
+    outcome.stats.cache_hits, outcome.stats.executed
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..common.config import MachineConfig, SimParams
+from ..common.errors import SweepError
+from ..workloads.benchmarks import build_benchmark
+from ..workloads.program import Program
+from .driver import run_program
+from .results import SimResult
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CellFailure",
+    "CellRecord",
+    "DiskCache",
+    "SweepCell",
+    "SweepOutcome",
+    "SweepStats",
+    "cell_key",
+    "code_version_token",
+    "config_fingerprint",
+    "default_cache_root",
+    "default_jobs",
+    "run_cell",
+    "run_cells",
+]
+
+#: Bumped whenever the on-disk entry layout changes; part of the cache path.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed keys
+# ---------------------------------------------------------------------------
+
+
+def _canonical(obj: object) -> object:
+    """Reduce ``obj`` to a JSON-stable structure covering *every* field.
+
+    Dataclasses contribute their class name and all declared fields (so
+    adding a field automatically changes every fingerprint), enums their
+    value, containers their canonicalized elements.  Unknown objects
+    fall back to ``repr``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out: Dict[str, object] = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return repr(obj)
+
+
+def config_fingerprint(obj: object) -> str:
+    """SHA-256 hex digest of a canonicalized (frozen) dataclass.
+
+    Unlike a hand-maintained format string this covers every declared
+    field — two configs differing in *any* knob (L2 latency, memory
+    ports, stream-prefetcher parameters, ...) always get distinct
+    fingerprints.
+    """
+    payload = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+_code_token: Optional[str] = None
+
+
+def code_version_token() -> str:
+    """A hash of the installed ``repro`` sources (cached per process).
+
+    Folded into every cache key so that editing the simulator invalidates
+    stale results instead of silently replaying them.
+    """
+    global _code_token
+    if _code_token is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode("utf-8"))
+            h.update(path.read_bytes())
+        _code_token = h.hexdigest()[:16]
+    return _code_token
+
+
+def cell_key(
+    benchmark: str, config: MachineConfig, params: SimParams
+) -> str:
+    """Content-addressed identity of one grid cell.
+
+    Covers the benchmark name, the full machine configuration, the full
+    simulation parameters and the code-version token — everything
+    ``run_program`` depends on.
+    """
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code": code_version_token(),
+            "benchmark": benchmark,
+            "config": _canonical(config),
+            "params": _canonical(params),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache
+# ---------------------------------------------------------------------------
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _json_default(obj: object) -> object:
+    # numpy scalars (np.int64 cycle counts etc.) leak into counter dumps;
+    # .item() turns them into plain Python numbers.
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+class DiskCache:
+    """Content-addressed :class:`SimResult` store under one directory.
+
+    Layout: ``<root>/results/v<schema>/<key[:2]>/<key>.json`` — one JSON
+    document per cell, sharded by key prefix to keep directories small.
+    Writes are atomic (temp file + ``os.replace``), so a crashed or
+    concurrent run never leaves a half-written entry; unreadable entries
+    are treated as misses and deleted.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        base = Path(root) if root is not None else default_cache_root()
+        self.root = base / "results" / f"v{CACHE_SCHEMA_VERSION}"
+        self._write_warned = False
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return SimResult.from_dict(json.load(fh))
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt/incompatible entry: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Persist ``result`` under ``key`` (atomic, last-writer-wins).
+
+        Best-effort: the cache is an optimization, so an unwritable or
+        misconfigured cache directory degrades to uncached operation
+        (with a one-time warning) instead of failing the sweep.
+        """
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(result.to_dict(), fh, default=_json_default)
+            os.replace(tmp, path)
+        except OSError as exc:
+            if not self._write_warned:
+                self._write_warned = True
+                warnings.warn(
+                    f"result cache at {self.root} is not writable ({exc}); "
+                    "continuing without persisting results",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        n = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                try:
+                    path.unlink()
+                    n += 1
+                except OSError:
+                    pass
+        return n
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+
+def _cache_enabled(flag: Optional[bool]) -> bool:
+    if flag is not None:
+        return flag
+    return os.environ.get("REPRO_NO_CACHE", "").lower() not in ("1", "true", "yes")
+
+
+def default_jobs() -> int:
+    """Worker count from ``$REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# Cells, per-cell records, sweep statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (benchmark, configuration) grid cell awaiting execution.
+
+    ``label`` is the axis label the result is keyed under in the output
+    grid (often, but not necessarily, ``config.name``).
+    """
+
+    benchmark: str
+    label: str
+    config: MachineConfig
+    params: SimParams
+
+    @property
+    def grid_key(self) -> Tuple[str, str]:
+        return (self.benchmark, self.label)
+
+    def key(self) -> str:
+        """Content-addressed cache key (see :func:`cell_key`)."""
+        return cell_key(self.benchmark, self.config, self.params)
+
+
+@dataclass
+class CellRecord:
+    """How one cell was resolved: from cache or by simulation."""
+
+    benchmark: str
+    label: str
+    key: str
+    source: str  # "cache" | "run"
+    wall_s: float
+
+
+@dataclass
+class CellFailure:
+    """A cell whose simulation raised, keyed by its grid position."""
+
+    benchmark: str
+    label: str
+    key: str
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"({self.benchmark}, {self.label}): {self.error}"
+
+
+@dataclass
+class SweepStats:
+    """Aggregate observability for one :func:`run_cells` invocation."""
+
+    jobs_requested: int = 1
+    jobs_used: int = 1
+    n_cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    cache_root: Optional[str] = None
+    code_token: str = ""
+    records: List[CellRecord] = field(default_factory=list)
+    failures: List[CellFailure] = field(default_factory=list)
+
+    def to_manifest(self) -> Dict:
+        """JSON-serializable run manifest."""
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code_token": self.code_token,
+            "jobs_requested": self.jobs_requested,
+            "jobs_used": self.jobs_used,
+            "n_cells": self.n_cells,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "failed": self.failed,
+            "wall_s": self.wall_s,
+            "cache_root": self.cache_root,
+            "cells": [dataclasses.asdict(r) for r in self.records],
+            "failures": [dataclasses.asdict(f) for f in self.failures],
+        }
+
+    def write_manifest(self, path: Union[str, Path]) -> None:
+        """Write the JSON run manifest to ``path`` (parents created)."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_manifest(), fh, indent=2)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.n_cells} cells: {self.cache_hits} cached, "
+            f"{self.executed} simulated ({self.jobs_used} worker(s)), "
+            f"{self.failed} failed, {self.wall_s:.1f}s"
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """Results plus statistics of one sweep execution."""
+
+    results: Dict[Tuple[str, str], SimResult]
+    stats: SweepStats
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
+#: Per-process benchmark-model memo: programs are immutable and shared
+#: across every configuration of a sweep, so each worker builds each
+#: (benchmark, scale) model at most once.
+_worker_programs: Dict[Tuple[str, float], Program] = {}
+
+
+def _build_program(benchmark: str, scale: float) -> Program:
+    key = (benchmark, scale)
+    program = _worker_programs.get(key)
+    if program is None:
+        program = build_benchmark(benchmark, scale=scale)
+        _worker_programs[key] = program
+    return program
+
+
+def _execute_cell(
+    benchmark: str, config: MachineConfig, params: SimParams
+) -> Tuple[str, object, object]:
+    """Run one cell in the current process.
+
+    Returns ``("ok", result_dict, wall_s)`` or ``("err", message, tb)``;
+    exceptions never propagate so that one bad cell cannot take down a
+    worker (or, in the serial path, the rest of the grid).
+    """
+    t0 = time.perf_counter()
+    try:
+        result = run_program(_build_program(benchmark, params.scale), config, params)
+        return ("ok", result.to_dict(), time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 — reported per cell by key
+        return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+def _fork_available() -> bool:
+    # fork is the only start method that is safe without a __main__ guard
+    # (spawn re-imports __main__, which would re-run unguarded scripts).
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+def run_cells(
+    cells: Iterable[SweepCell],
+    jobs: int = 1,
+    cache: Optional[bool] = None,
+    cache_dir: Union[str, Path, None] = None,
+    progress: Optional[Callable[[str, str], None]] = None,
+    manifest_path: Union[str, Path, None] = None,
+    strict: bool = True,
+) -> SweepOutcome:
+    """Execute a sweep: resolve every cell from cache or simulation.
+
+    Parameters
+    ----------
+    cells:
+        The grid cells to resolve.  Result/record order follows cell
+        order regardless of parallel completion order.
+    jobs:
+        Worker processes for cache-miss cells.  ``1`` (or a platform
+        without ``fork``) runs serially in-process.
+    cache:
+        ``True``/``False`` force the disk cache on/off; ``None`` (the
+        default) enables it unless ``REPRO_NO_CACHE`` is set.
+    cache_dir:
+        Cache root override (default ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``).
+    progress:
+        Called once per cell with ``(benchmark, label)`` — before the
+        run in serial mode, on completion in parallel mode.
+    manifest_path:
+        If given, the JSON run manifest is written there.
+    strict:
+        When ``True`` (default) any cell failure raises
+        :class:`~repro.common.errors.SweepError` *after* the whole grid
+        has been attempted; the error names each failing cell's grid key
+        and carries the partial :class:`SweepOutcome`.  ``False`` returns
+        the outcome with ``stats.failures`` populated instead.
+    """
+    cells = list(cells)
+    t_start = time.perf_counter()
+    dcache = DiskCache(cache_dir) if _cache_enabled(cache) else None
+
+    stats = SweepStats(
+        jobs_requested=jobs,
+        n_cells=len(cells),
+        cache_root=str(dcache.root) if dcache is not None else None,
+        code_token=code_version_token(),
+    )
+    results: Dict[Tuple[str, str], SimResult] = {}
+    records: Dict[Tuple[str, str], CellRecord] = {}
+
+    def ingest(cell: SweepCell, key: str, payload: Tuple[str, object, object]) -> None:
+        status, first, second = payload
+        if status == "ok":
+            result = SimResult.from_dict(first)  # type: ignore[arg-type]
+            results[cell.grid_key] = result
+            records[cell.grid_key] = CellRecord(
+                cell.benchmark, cell.label, key, "run", float(second)  # type: ignore[arg-type]
+            )
+            stats.executed += 1
+            if dcache is not None:
+                dcache.put(key, result)
+        else:
+            stats.failed += 1
+            stats.failures.append(
+                CellFailure(cell.benchmark, cell.label, key, str(first), str(second))
+            )
+
+    # Phase 1: cache lookups (always in-process — lookups are cheap).
+    to_run: List[Tuple[SweepCell, str]] = []
+    for cell in cells:
+        key = cell.key()
+        hit = dcache.get(key) if dcache is not None else None
+        if hit is not None:
+            if progress is not None:
+                progress(cell.benchmark, cell.label)
+            results[cell.grid_key] = hit
+            records[cell.grid_key] = CellRecord(
+                cell.benchmark, cell.label, key, "cache", 0.0
+            )
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
+            to_run.append((cell, key))
+
+    # Phase 2: execute the misses — fanned out or serial.
+    use_parallel = jobs > 1 and len(to_run) > 1 and _fork_available()
+    if use_parallel:
+        stats.jobs_used = min(jobs, len(to_run))
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=stats.jobs_used, mp_context=ctx) as pool:
+            futures = {
+                pool.submit(_execute_cell, cell.benchmark, cell.config, cell.params):
+                (cell, key)
+                for cell, key in to_run
+            }
+            for future in as_completed(futures):
+                cell, key = futures[future]
+                if progress is not None:
+                    progress(cell.benchmark, cell.label)
+                try:
+                    payload = future.result()
+                except Exception as exc:  # pool/pickling breakage
+                    payload = ("err", f"{type(exc).__name__}: {exc}",
+                               traceback.format_exc())
+                ingest(cell, key, payload)
+    else:
+        stats.jobs_used = 1
+        for cell, key in to_run:
+            if progress is not None:
+                progress(cell.benchmark, cell.label)
+            ingest(cell, key, _execute_cell(cell.benchmark, cell.config, cell.params))
+
+    # Deterministic output order: the caller's cell order, not completion
+    # order (labels_of/benchmarks_of rely on grid insertion order).
+    ordered = {
+        cell.grid_key: results[cell.grid_key]
+        for cell in cells
+        if cell.grid_key in results
+    }
+    stats.records = [records[c.grid_key] for c in cells if c.grid_key in records]
+    stats.wall_s = time.perf_counter() - t_start
+
+    if manifest_path is not None:
+        stats.write_manifest(manifest_path)
+
+    outcome = SweepOutcome(results=ordered, stats=stats)
+    if strict and stats.failures:
+        raise SweepError(
+            f"{stats.failed} of {stats.n_cells} sweep cell(s) failed: "
+            + "; ".join(str(f) for f in stats.failures),
+            failures=stats.failures,
+            outcome=outcome,
+        )
+    return outcome
+
+
+def run_cell(
+    benchmark: str,
+    config: MachineConfig,
+    params: SimParams = SimParams(),
+    cache: Optional[bool] = None,
+    cache_dir: Union[str, Path, None] = None,
+) -> SimResult:
+    """Resolve a single (benchmark, configuration) cell through the cache."""
+    cell = SweepCell(benchmark, config.name, config, params)
+    outcome = run_cells([cell], jobs=1, cache=cache, cache_dir=cache_dir)
+    return outcome.results[cell.grid_key]

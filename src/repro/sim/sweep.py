@@ -2,20 +2,25 @@
 
 Every figure in the paper is a sweep over {benchmark} × {configuration
 axis}; these helpers run such grids and return keyed result maps.  The
-benchmark *program* is built once per benchmark and shared across
-configurations (programs are immutable), so a full Figure 11 grid is
-six program builds plus 48 machine simulations.
+heavy lifting lives in :mod:`repro.sim.executor`: cells are resolved
+from the persistent result cache when possible, and cache misses can be
+fanned out over worker processes with ``jobs=N`` (results are identical
+to a serial run — each cell reseeds deterministically from
+``params.seed``).  The benchmark *program* is built once per benchmark
+per process and shared across configurations (programs are immutable),
+so a full Figure 11 grid is six program builds plus 48 machine
+simulations — or zero of either when the cache is warm.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..common.config import MachineConfig, SimParams
 from ..common.errors import AnalysisError
-from ..workloads.benchmarks import BENCHMARK_NAMES, build_benchmark
-from ..workloads.program import Program
-from .driver import run_program
+from ..workloads.benchmarks import BENCHMARK_NAMES
+from .executor import SweepCell, run_cells
 from .results import SimResult
 
 __all__ = ["run_grid", "run_config_axis", "ResultGrid"]
@@ -29,24 +34,39 @@ def run_grid(
     benchmarks: Optional[Sequence[str]] = None,
     params: SimParams = SimParams(),
     progress: Optional[Callable[[str, str], None]] = None,
+    jobs: int = 1,
+    cache: Optional[bool] = None,
+    cache_dir: Union[str, Path, None] = None,
+    manifest_path: Union[str, Path, None] = None,
 ) -> ResultGrid:
     """Run every benchmark × configuration pair.
 
     ``configs`` maps an axis label (e.g. ``"wth-wp-wec 8"``) to a
-    machine configuration.  ``progress`` (if given) is called with
-    ``(benchmark, label)`` before each run — handy for long sweeps.
+    machine configuration.  ``progress`` (if given) is called once per
+    cell with ``(benchmark, label)`` — before each run serially, on
+    completion when ``jobs > 1``.  ``jobs``/``cache``/``cache_dir``/
+    ``manifest_path`` are forwarded to
+    :func:`repro.sim.executor.run_cells`; a failing cell raises
+    :class:`~repro.common.errors.SweepError` naming its grid key after
+    the rest of the grid has been attempted.
     """
     if not configs:
         raise AnalysisError("empty configuration axis")
     bench_names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
-    results: ResultGrid = {}
-    for bname in bench_names:
-        program = build_benchmark(bname, scale=params.scale)
-        for label, cfg in configs.items():
-            if progress is not None:
-                progress(bname, label)
-            results[(bname, label)] = run_program(program, cfg, params)
-    return results
+    cells = [
+        SweepCell(bname, label, cfg, params)
+        for bname in bench_names
+        for label, cfg in configs.items()
+    ]
+    outcome = run_cells(
+        cells,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        progress=progress,
+        manifest_path=manifest_path,
+    )
+    return outcome.results
 
 
 def run_config_axis(
@@ -54,10 +74,12 @@ def run_config_axis(
     axis: Sequence[str],
     benchmarks: Optional[Sequence[str]] = None,
     params: SimParams = SimParams(),
+    jobs: int = 1,
+    cache: Optional[bool] = None,
 ) -> ResultGrid:
     """Sweep an axis of labels through ``config_factory``."""
     configs = {label: config_factory(label) for label in axis}
-    return run_grid(configs, benchmarks, params)
+    return run_grid(configs, benchmarks, params, jobs=jobs, cache=cache)
 
 
 def baseline_of(grid: ResultGrid, baseline_label: str) -> Dict[str, SimResult]:

@@ -63,6 +63,19 @@ class TestSpeedupHelpers:
         with pytest.raises(AnalysisError):
             relative_speedups(grid, "orig", "ghost")
 
+    def test_table_rows_incomplete_grid_raises_named(self, grid):
+        # An incomplete grid must raise AnalysisError naming the missing
+        # (benchmark, label) cell, not a bare KeyError (consistency with
+        # relative_speedups / normalized_times / suite_average).
+        del grid[("b", "wec")]
+        with pytest.raises(AnalysisError, match=r"b for 'wec'"):
+            speedup_table_rows(grid, "orig")
+
+    def test_table_rows_missing_baseline_raises_named(self, grid):
+        del grid[("a", "orig")]
+        with pytest.raises(AnalysisError, match=r"a for 'orig'"):
+            speedup_table_rows(grid, "orig")
+
 
 class TestTextTable:
     def test_render_alignment(self):

@@ -1,0 +1,228 @@
+"""Tests for the sweep execution engine (:mod:`repro.sim.executor`).
+
+Covers the three load-bearing guarantees:
+
+* parallel fan-out produces results identical to the serial path;
+* a cold-cache run followed by a warm-cache run returns identical
+  ``SimResult``s with zero simulations executed;
+* a cell that raises in a worker reports its grid key and does not
+  lose the other cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import SimParams, named_config
+from repro.common.errors import SweepError
+from repro.sim.executor import (
+    DiskCache,
+    SweepCell,
+    cell_key,
+    code_version_token,
+    config_fingerprint,
+    run_cell,
+    run_cells,
+)
+from repro.sim.results import SimResult
+from repro.sim.sweep import benchmarks_of, labels_of, run_grid
+
+TINY = SimParams(seed=7, scale=2e-5, warmup_invocations=0)
+
+BENCHES = ["175.vpr", "164.gzip"]
+CONFIG_LABELS = ["orig", "vc", "nlp"]
+
+
+def make_cells(params=TINY, benches=BENCHES, labels=CONFIG_LABELS):
+    return [
+        SweepCell(b, name, named_config(name), params)
+        for b in benches
+        for name in labels
+    ]
+
+
+class TestFingerprints:
+    def test_stable(self):
+        cfg = named_config("orig")
+        assert config_fingerprint(cfg) == config_fingerprint(cfg)
+
+    def test_covers_every_field(self):
+        # The historical hand-maintained key omitted these knobs; the
+        # dataclass-derived fingerprint must distinguish all of them.
+        base = named_config("orig")
+        variants = [
+            dataclasses.replace(
+                base, mem=dataclasses.replace(base.mem, memory_latency=300)
+            ),
+            dataclasses.replace(
+                base,
+                mem=dataclasses.replace(
+                    base.mem,
+                    l2=dataclasses.replace(base.mem.l2, block_size=256),
+                ),
+            ),
+            dataclasses.replace(
+                base,
+                mem=dataclasses.replace(
+                    base.mem,
+                    l2=dataclasses.replace(base.mem.l2, hit_latency=20),
+                ),
+            ),
+            dataclasses.replace(
+                base, tu=dataclasses.replace(base.tu, mem_ports=4)
+            ),
+            dataclasses.replace(base, fork_delay=9),
+        ]
+        prints = {config_fingerprint(v) for v in variants}
+        assert len(prints) == len(variants)
+        assert config_fingerprint(base) not in prints
+
+    def test_cell_key_covers_benchmark_and_params(self):
+        cfg = named_config("orig")
+        k = cell_key("175.vpr", cfg, TINY)
+        assert k != cell_key("164.gzip", cfg, TINY)
+        assert k != cell_key("175.vpr", cfg, dataclasses.replace(TINY, seed=8))
+        assert k != cell_key("175.vpr", cfg, dataclasses.replace(TINY, scale=3e-5))
+
+    def test_code_token_stable_within_process(self):
+        assert code_version_token() == code_version_token()
+        assert len(code_version_token()) == 16
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        cache.put("ab" + "0" * 62, result)
+        assert cache.get("ab" + "0" * 62) == result
+        assert len(cache) == 1
+
+    def test_miss_and_corrupt_entry(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "cd" + "1" * 62
+        assert cache.get(key) is None
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(key) is None  # corrupt -> miss
+        assert not path.exists()  # ... and dropped
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        # A misconfigured cache dir must not fail the sweep: put() warns
+        # once and the run continues uncached.
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file, not a directory")
+        cache = DiskCache(blocker / "sub")
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        with pytest.warns(RuntimeWarning, match="not writable"):
+            cache.put("ab" + "3" * 62, result)
+        cache.put("ab" + "4" * 62, result)  # second write: silent no-op
+        assert cache.get("ab" + "3" * 62) is None
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        cache.put("ef" + "2" * 62, result)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestParallelEqualsSerial:
+    def test_grid_results_identical(self, tmp_path):
+        serial = run_cells(make_cells(), jobs=1, cache=False)
+        parallel = run_cells(make_cells(), jobs=4, cache=False)
+        assert serial.results == parallel.results
+        assert len(serial.results) == len(BENCHES) * len(CONFIG_LABELS)
+        assert parallel.stats.executed == len(BENCHES) * len(CONFIG_LABELS)
+
+    def test_run_grid_jobs_param_preserves_order(self, tmp_path):
+        configs = {name: named_config(name) for name in CONFIG_LABELS}
+        grid = run_grid(
+            configs, benchmarks=BENCHES, params=TINY,
+            jobs=4, cache_dir=tmp_path,
+        )
+        assert benchmarks_of(grid) == BENCHES
+        assert labels_of(grid) == CONFIG_LABELS
+
+    def test_progress_called_once_per_cell_parallel(self, tmp_path):
+        calls = []
+        run_cells(
+            make_cells(), jobs=4, cache=False,
+            progress=lambda b, l: calls.append((b, l)),
+        )
+        assert sorted(calls) == sorted(c.grid_key for c in make_cells())
+
+
+class TestPersistentCache:
+    def test_cold_then_warm(self, tmp_path):
+        cold = run_cells(make_cells(), cache_dir=tmp_path)
+        assert cold.stats.executed == len(BENCHES) * len(CONFIG_LABELS)
+        assert cold.stats.cache_hits == 0
+
+        warm = run_cells(make_cells(), cache_dir=tmp_path)
+        assert warm.stats.executed == 0
+        assert warm.stats.cache_hits == len(BENCHES) * len(CONFIG_LABELS)
+        assert warm.results == cold.results
+        assert all(isinstance(r, SimResult) for r in warm.results.values())
+
+    def test_warm_hits_in_parallel_mode_too(self, tmp_path):
+        run_cells(make_cells(), cache_dir=tmp_path)
+        warm = run_cells(make_cells(), jobs=4, cache_dir=tmp_path)
+        assert warm.stats.executed == 0
+
+    def test_param_change_misses(self, tmp_path):
+        run_cells(make_cells(), cache_dir=tmp_path)
+        other = dataclasses.replace(TINY, seed=9)
+        again = run_cells(make_cells(params=other), cache_dir=tmp_path)
+        assert again.stats.cache_hits == 0
+
+    def test_cache_false_never_touches_disk(self, tmp_path):
+        outcome = run_cells(make_cells(), cache=False, cache_dir=tmp_path)
+        assert outcome.stats.cache_root is None
+        assert len(DiskCache(tmp_path)) == 0
+
+    def test_manifest(self, tmp_path):
+        manifest_path = tmp_path / "runs" / "manifest.json"
+        run_cells(make_cells(), cache_dir=tmp_path, manifest_path=manifest_path)
+        data = json.loads(manifest_path.read_text())
+        assert data["n_cells"] == len(BENCHES) * len(CONFIG_LABELS)
+        assert data["executed"] == data["n_cells"]
+        assert len(data["cells"]) == data["n_cells"]
+        assert all(c["wall_s"] >= 0 for c in data["cells"])
+        assert data["failures"] == []
+
+
+class TestFailureSurfacing:
+    def bad_cells(self):
+        return make_cells() + [
+            SweepCell("nosuch.bench", "orig", named_config("orig"), TINY)
+        ]
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_failing_cell_reports_key_and_keeps_others(self, tmp_path, jobs):
+        with pytest.raises(SweepError) as excinfo:
+            run_cells(self.bad_cells(), jobs=jobs, cache_dir=tmp_path)
+        err = excinfo.value
+        assert "(nosuch.bench, orig)" in str(err)
+        assert len(err.failures) == 1
+        assert err.failures[0].benchmark == "nosuch.bench"
+        # Every healthy cell still completed and is retrievable.
+        assert len(err.outcome.results) == len(BENCHES) * len(CONFIG_LABELS)
+        assert err.outcome.stats.failed == 1
+
+    def test_non_strict_returns_partial_outcome(self, tmp_path):
+        outcome = run_cells(self.bad_cells(), cache=False, strict=False)
+        assert len(outcome.results) == len(BENCHES) * len(CONFIG_LABELS)
+        assert outcome.stats.failed == 1
+        assert outcome.stats.failures[0].label == "orig"
+
+
+class TestRunCell:
+    def test_single_cell_cached(self, tmp_path):
+        a = run_cell("175.vpr", named_config("vc"), TINY, cache_dir=tmp_path)
+        b = run_cell("175.vpr", named_config("vc"), TINY, cache_dir=tmp_path)
+        assert a == b
+        assert len(DiskCache(tmp_path)) == 1

@@ -161,6 +161,21 @@ class TestHistogram:
     def test_fractions_empty(self):
         assert Histogram(edges=[1]).fractions() == [0.0]
 
+    def test_fractions_exclude_overflow(self):
+        # Regression: overflow observations must be excluded from the
+        # denominator too, so in-range fractions sum to 1.
+        h = Histogram(edges=[1, 10])
+        h.record(0.5)
+        h.record(5)
+        h.record(500)  # overflow
+        assert h.fractions() == [0.5, 0.5]
+        assert sum(h.fractions()) == pytest.approx(1.0)
+
+    def test_fractions_all_overflow(self):
+        h = Histogram(edges=[1])
+        h.record(100)
+        assert h.fractions() == [0.0]
+
     def test_merge(self):
         a = Histogram(edges=[1, 10])
         b = Histogram(edges=[1, 10])

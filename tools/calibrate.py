@@ -9,17 +9,23 @@ Run while tuning the benchmark models.  Prints, per benchmark:
 
 Paper targets are printed alongside for eyeballing.
 
-Usage: python tools/calibrate.py [scale]
+Usage: python tools/calibrate.py [scale] [--jobs N] [--no-cache]
+                                 [--manifest PATH]
+
+The grid resolves through the persistent result cache
+($REPRO_CACHE_DIR, default ~/.cache/repro), so re-running after a
+model tweak only re-simulates what the tweak invalidated; --jobs fans
+cache misses out over worker processes.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro import CONFIG_NAMES, SimParams, named_config
 from repro.analysis.speedup import suite_average_speedup_pct
-from repro.sim.sweep import run_grid
+from repro.sim.executor import SweepCell, default_jobs, run_cells
 
 PAPER_FIG11 = {
     # benchmark: (wec, nlp) approximate read-offs from Figure 11
@@ -47,11 +53,27 @@ BENCH_ORDER = ["175.vpr", "164.gzip", "181.mcf", "197.parser", "183.equake", "17
 
 
 def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-4
-    params = SimParams(seed=2003, scale=scale)
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("scale", nargs="?", type=float, default=1e-4)
+    ap.add_argument("--jobs", type=int, default=default_jobs())
+    ap.add_argument("--no-cache", action="store_true")
+    ap.add_argument("--manifest", metavar="PATH", default=None)
+    args = ap.parse_args()
+    params = SimParams(seed=2003, scale=args.scale)
     t0 = time.time()
     configs = {name: named_config(name) for name in CONFIG_NAMES}
-    grid = run_grid(configs, benchmarks=BENCH_ORDER, params=params)
+    cells = [
+        SweepCell(bench, label, cfg, params)
+        for bench in BENCH_ORDER
+        for label, cfg in configs.items()
+    ]
+    outcome = run_cells(
+        cells,
+        jobs=args.jobs,
+        cache=False if args.no_cache else None,
+        manifest_path=args.manifest,
+    )
+    grid = outcome.results
 
     hdr = f"{'bench':12s}" + "".join(f"{c:>11s}" for c in CONFIG_NAMES if c != "orig")
     print(hdr + f"{'[wec/nlp paper]':>18s}")
@@ -88,7 +110,8 @@ def main() -> None:
               f"{base.mispredict_rate*100:6.1f}%{l1mr:7.2f}%{l2mr:7.1f}%"
               f"{wec.wrong_loads:8d}{base.instructions:9d}"
               f"   [{pt:+.0f}/{pm:+.0f}]")
-    print(f"\n{time.time()-t0:.1f}s, scale={params.scale}")
+    print(f"\n{time.time()-t0:.1f}s, scale={params.scale} "
+          f"[{outcome.stats.summary()}]")
 
 
 if __name__ == "__main__":
