@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..common.config import BranchPredictorConfig
 from ..common.stats import CounterGroup
+from ..obs.events import BRANCH_RESOLVE, CAT_BRANCH
 from .btb import BranchTargetBuffer
 from .predictors import DirectionPredictor, make_predictor
 from .ras import ReturnAddressStack
@@ -20,15 +21,30 @@ __all__ = ["BranchUnit"]
 class BranchUnit:
     """Complete per-TU branch machinery."""
 
-    __slots__ = ("cfg", "predictor", "btb", "ras", "stats", "_mispredict_penalty")
+    __slots__ = (
+        "cfg", "predictor", "btb", "ras", "stats", "_mispredict_penalty",
+        "_obs", "_obs_tu",
+    )
 
-    def __init__(self, cfg: BranchPredictorConfig, name: str = "bpred") -> None:
+    def __init__(
+        self,
+        cfg: BranchPredictorConfig,
+        name: str = "bpred",
+        tracer=None,
+        tu_id: int = 0,
+    ) -> None:
         self.cfg = cfg
         self.predictor: DirectionPredictor = make_predictor(cfg)
         self.btb = BranchTargetBuffer(cfg.btb_entries, cfg.btb_assoc)
         self.ras = ReturnAddressStack(cfg.ras_entries)
         self.stats = CounterGroup(name)
         self._mispredict_penalty = cfg.mispredict_penalty
+        self._obs = (
+            tracer
+            if tracer is not None and tracer.enabled and tracer.wants(CAT_BRANCH)
+            else None
+        )
+        self._obs_tu = tu_id
 
     @property
     def mispredict_penalty(self) -> int:
@@ -60,6 +76,8 @@ class BranchUnit:
             self.btb.insert(pc, target if target else pc + 8)
         if mispredicted:
             stats.counter("mispredicts").add()
+        if self._obs is not None:
+            self._obs.emit(BRANCH_RESOLVE, self._obs_tu, pc, int(mispredicted))
         return mispredicted
 
     def mispredict_rate(self) -> float:

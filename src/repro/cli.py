@@ -12,6 +12,9 @@ Commands
 ``suite``
     Run every benchmark on one configuration (plus ``orig``) and print
     per-benchmark speedups with the suite average.
+``trace``
+    Simulate one benchmark/config pair with event tracing on and write
+    a Perfetto-loadable Chrome trace (see ``docs/OBSERVABILITY.md``).
 
 Examples
 --------
@@ -21,6 +24,7 @@ Examples
     python -m repro run --benchmark mcf --config wth-wp-wec
     python -m repro compare --benchmark equake --configs vc,wth-wp,wth-wp-wec,nlp
     python -m repro suite --config wth-wp-wec --scale 1e-4 --jobs 4
+    python -m repro trace 181.mcf wth-wp-wec --out trace.json
 
 Sweeps resolve through the persistent result cache (``$REPRO_CACHE_DIR``,
 default ``~/.cache/repro``; bypass with ``--no-cache``) and fan cache
@@ -36,6 +40,11 @@ from typing import List, Optional
 
 from .analysis.speedup import suite_average_speedup_pct
 from .common.config import SimParams
+from .common.errors import ConfigError
+from .obs.events import CATEGORIES
+from .obs.export import write_chrome_trace, write_jsonl
+from .obs.tracer import IntervalMetrics, RingBufferTracer
+from .sim.driver import run_simulation
 from .sim.executor import default_jobs
 from .sim.sweep import run_grid
 from .sim.tables import TextTable
@@ -91,6 +100,34 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p = sub.add_parser("suite", help="all benchmarks, one config vs orig")
     suite_p.add_argument("--config", default="wth-wp-wec", choices=CONFIG_NAMES)
     add_common(suite_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="simulate one pair with tracing on; write a Perfetto trace",
+    )
+    trace_p.add_argument("benchmark", help="benchmark name (see `repro list`)")
+    trace_p.add_argument("config", choices=CONFIG_NAMES)
+    trace_p.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="Chrome trace-event JSON output "
+                              "(default trace.json; open in ui.perfetto.dev)")
+    trace_p.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="also dump raw events as JSON Lines to PATH")
+    trace_p.add_argument("--events", default=None, metavar="CATS",
+                         help="comma-separated categories to record "
+                              f"(default all: {','.join(CATEGORIES)})")
+    trace_p.add_argument("--window", type=float, default=4096.0, metavar="N",
+                         help="interval-metrics window in cycles "
+                              "(default 4096; 0 disables counter tracks)")
+    trace_p.add_argument("--sample", type=int, default=1, metavar="N",
+                         help="keep every N-th event per category (default 1)")
+    trace_p.add_argument("--capacity", type=int, default=1 << 20, metavar="N",
+                         help="ring-buffer capacity; oldest events are "
+                              "overwritten beyond it (default 1Mi)")
+    trace_p.add_argument("--scale", type=float, default=2e-4,
+                         help="instruction scale vs Table 2 (default 2e-4)")
+    trace_p.add_argument("--seed", type=int, default=2003)
+    trace_p.add_argument("--tus", type=int, default=8,
+                         help="number of thread units (default 8)")
 
     return p
 
@@ -205,6 +242,46 @@ def _cmd_suite(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    try:
+        categories = None
+        if args.events:
+            categories = [c.strip() for c in args.events.split(",") if c.strip()]
+        metrics = IntervalMetrics(window=args.window) if args.window > 0 else None
+        tracer = RingBufferTracer(
+            capacity=args.capacity,
+            categories=categories,
+            sample=args.sample,
+            metrics=metrics,
+        )
+    except ConfigError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    params = SimParams(seed=args.seed, scale=args.scale)
+    cfg = named_config(args.config, n_tus=args.tus)
+    # Traced runs bypass the result cache: the cached artifact is the
+    # SimResult, not the event stream, and tracing does not change it.
+    result = run_simulation(args.benchmark, cfg, params, tracer=tracer)
+    events = tracer.events()
+    out = write_chrome_trace(
+        events,
+        args.out,
+        interval_series=result.interval_series,
+        label=f"{args.benchmark} on {args.config} ({args.tus} TUs, "
+              f"scale {args.scale:g}, seed {args.seed})",
+    )
+    print(f"result : {result.total_cycles:.0f} cycles, ipc={result.ipc:.2f}")
+    print(f"trace  : {len(events)} events -> {out} "
+          f"(open in https://ui.perfetto.dev)")
+    if tracer.n_dropped:
+        print(f"warning: ring full, {tracer.n_dropped} oldest events "
+              f"overwritten (raise --capacity or use --sample/--events)")
+    if args.jsonl:
+        path = write_jsonl(events, args.jsonl)
+        print(f"jsonl  : {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -217,6 +294,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "suite":
             return _cmd_suite(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

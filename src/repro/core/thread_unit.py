@@ -20,6 +20,15 @@ from ..isa.encoding import EV_BRANCH, EV_LOAD, EV_TSTORE, IterationTrace, StageS
 from ..mem.coherence import UpdateBus
 from ..mem.hierarchy import TUMemSystem
 from ..mem.l2 import SharedL2
+from ..obs.events import (
+    CAT_MEM,
+    CAT_THREAD,
+    THREAD_ABORT,
+    THREAD_KILL,
+    WP_ENTER,
+    WP_EXIT,
+    WRONG_LOAD,
+)
 from ..workloads.program import ParallelRegionSpec, SequentialRegionSpec
 from ..workloads.tracegen import TraceGenerator
 from .membuffer import SpeculativeMemBuffer
@@ -46,6 +55,8 @@ class ThreadUnit:
         "membuf",
         "stats",
         "_wrong_fill_charge",
+        "_obs_thread",
+        "_obs_mem",
     )
 
     def __init__(
@@ -54,15 +65,20 @@ class ThreadUnit:
         machine_cfg: MachineConfig,
         l2: SharedL2,
         params: SimParams,
+        tracer=None,
     ) -> None:
         tu = machine_cfg.tu
         self.tu_id = tu_id
         self.cfg = machine_cfg
         self.params = params
+        live = tracer is not None and tracer.enabled
+        self._obs_thread = tracer if live and tracer.wants(CAT_THREAD) else None
+        self._obs_mem = tracer if live and tracer.wants(CAT_MEM) else None
         self.mem = TUMemSystem(
             tu_id, tu.l1d, tu.l1i, tu.sidecar, l2,
             prefetch_late_cycles=params.prefetch_late_cycles,
             prefetch_late_far_cycles=params.prefetch_late_far_cycles,
+            tracer=tracer,
         )
         # Wrong-execution fills that install into the L1 occupy its fill
         # port and MSHRs for their full fill latency; the WEC has a
@@ -72,7 +88,9 @@ class ThreadUnit:
             if tu.sidecar.kind is SidecarKind.WEC
             else params.wrong_fill_mshr_fraction
         )
-        self.branch = BranchUnit(tu.branch, name=f"tu{tu_id}.bpred")
+        self.branch = BranchUnit(
+            tu.branch, name=f"tu{tu_id}.bpred", tracer=tracer, tu_id=tu_id
+        )
         self.timing = CoreTimingModel(tu, params)
         self.membuf = SpeculativeMemBuffer(tu.mem_buffer_entries, f"tu{tu_id}.membuf")
         self.stats = CounterGroup(f"tu{tu_id}.core")
@@ -182,11 +200,21 @@ class ThreadUnit:
                 if self.branch.resolve(value, bool(branch_taken[idx])):
                     mispredicts += 1
                     if wrong_path:
+                        obs_t = self._obs_thread
+                        obs_m = self._obs_mem
+                        if obs_t is not None:
+                            obs_t.emit(WP_ENTER, self.tu_id, value)
+                        burst = 0
                         for a in tracegen.wrong_path_addrs(
                             region, trace, idx, index, future_loads=future_loads
                         ):
+                            if obs_m is not None:
+                                obs_m.emit(WRONG_LOAD, self.tu_id, a)
                             wrong_fill_lat += load_wrong(a) - 1
-                            wrong_loads += 1
+                            burst += 1
+                        wrong_loads += burst
+                        if obs_t is not None:
+                            obs_t.emit(WP_EXIT, self.tu_id, burst, idx)
             else:  # store / target store
                 if sequential:
                     store_stall += mem.store_correct(value) - 1
@@ -243,11 +271,17 @@ class ThreadUnit:
         Returns the number of wrong-thread loads performed.
         """
         load_wrong = self.mem.load_wrong
+        obs_t = self._obs_thread
+        obs_m = self._obs_mem
+        if obs_t is not None:
+            obs_t.emit(THREAD_ABORT, self.tu_id, start_iter)
         n = 0
         n_tus = self.cfg.n_thread_units
         for round_ in range(region.wrong_exec.wth_max_iters):
             it = start_iter + round_ * n_tus
             for addr in tracegen.wrong_thread_addrs(region, it).tolist():
+                if obs_m is not None:
+                    obs_m.emit(WRONG_LOAD, self.tu_id, addr, 1)
                 load_wrong(addr)
                 n += 1
         if n:
@@ -255,6 +289,8 @@ class ThreadUnit:
         # The wrong thread reaches its own abort: squash buffered state.
         self.membuf.abort()
         self.stats.counter("wrong_threads").add()
+        if obs_t is not None:
+            obs_t.emit(THREAD_KILL, self.tu_id, n)
         return n
 
     def fork_cost(self, n_forward_values: int) -> float:

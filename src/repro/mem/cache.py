@@ -21,6 +21,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from ..common.config import CacheConfig
 from ..common.errors import ConfigError
 from ..common.units import log2_exact
+from ..obs.events import CAT_MEM, L1_EVICT
 
 __all__ = ["DIRTY", "WRONG", "PREFETCHED", "PF_FAR", "SetAssocCache", "EvictedBlock"]
 
@@ -44,7 +45,7 @@ class SetAssocCache:
     of what happens on a miss — the hierarchy layer composes that.
     """
 
-    __slots__ = ("cfg", "_n_sets", "_assoc", "_block_bits", "_sets")
+    __slots__ = ("cfg", "_n_sets", "_assoc", "_block_bits", "_sets", "_obs", "_obs_tu")
 
     def __init__(self, cfg: CacheConfig) -> None:
         cfg.validate()
@@ -53,6 +54,13 @@ class SetAssocCache:
         self._assoc = cfg.assoc
         self._block_bits = log2_exact(cfg.block_size)
         self._sets: List[Dict[int, int]] = [dict() for _ in range(self._n_sets)]
+        self._obs = None
+        self._obs_tu = 0
+
+    def attach_tracer(self, tracer, tu_id: int) -> None:
+        """Emit eviction events to ``tracer`` (only the L1D uses this)."""
+        self._obs = tracer if tracer is not None and tracer.enabled and tracer.wants(CAT_MEM) else None
+        self._obs_tu = tu_id
 
     # -- geometry ---------------------------------------------------------
 
@@ -114,6 +122,8 @@ class SetAssocCache:
             victim = next(iter(s))
             evicted = (victim, s[victim])
             del s[victim]
+            if self._obs is not None:
+                self._obs.emit(L1_EVICT, self._obs_tu, evicted[0], evicted[1])
         s[block] = flags
         return evicted
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..common.errors import ConfigError
+from ..obs.events import CAT_WEC, WEC_INSERT
 
 __all__ = ["FullyAssocBuffer"]
 
@@ -24,7 +25,7 @@ __all__ = ["FullyAssocBuffer"]
 class FullyAssocBuffer:
     """Fully-associative block store with true-LRU replacement."""
 
-    __slots__ = ("_capacity", "_blocks", "name")
+    __slots__ = ("_capacity", "_blocks", "name", "_obs", "_obs_tu")
 
     def __init__(self, capacity: int, name: str = "buffer") -> None:
         if capacity < 1:
@@ -32,6 +33,13 @@ class FullyAssocBuffer:
         self._capacity = capacity
         self._blocks: Dict[int, int] = {}
         self.name = name
+        self._obs = None
+        self._obs_tu = 0
+
+    def attach_tracer(self, tracer, tu_id: int) -> None:
+        """Emit sidecar-insert events to ``tracer`` (WEC/VC/PB only)."""
+        self._obs = tracer if tracer is not None and tracer.enabled and tracer.wants(CAT_WEC) else None
+        self._obs_tu = tu_id
 
     @property
     def capacity(self) -> int:
@@ -58,6 +66,8 @@ class FullyAssocBuffer:
 
     def insert(self, block: int, flags: int = 0) -> Optional[Tuple[int, int]]:
         """Install ``block`` as MRU; return the evicted (block, flags) if any."""
+        if self._obs is not None:
+            self._obs.emit(WEC_INSERT, self._obs_tu, block, flags)
         if block in self._blocks:
             del self._blocks[block]
             self._blocks[block] = flags

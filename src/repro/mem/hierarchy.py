@@ -37,6 +37,15 @@ from typing import Callable, Optional
 from ..common.config import CacheConfig, SidecarConfig, SidecarKind
 from ..common.errors import ConfigError
 from ..common.stats import CounterGroup
+from ..obs.events import (
+    CAT_MEM,
+    CAT_WEC,
+    L1_FILL,
+    L1_MISS,
+    WEC_HIT,
+    WEC_NLP,
+    WRONG_FILL,
+)
 from .cache import DIRTY, PF_FAR, PREFETCHED, WRONG, SetAssocCache
 from .fully_assoc import FullyAssocBuffer
 from .l2 import SharedL2
@@ -65,6 +74,8 @@ class TUMemSystem:
         "prefetch_late_cycles",
         "prefetch_late_far_cycles",
         "stream_detector",
+        "_obs",
+        "_obs_wec",
     )
 
     def __init__(
@@ -76,6 +87,7 @@ class TUMemSystem:
         l2: SharedL2,
         prefetch_late_cycles: float = 6.0,
         prefetch_late_far_cycles: float = 150.0,
+        tracer=None,
     ) -> None:
         self.tu_id = tu_id
         self.prefetch_late_cycles = prefetch_late_cycles
@@ -88,12 +100,17 @@ class TUMemSystem:
         )
         self.l2 = l2
         self.stats = CounterGroup(f"tu{tu_id}.mem")
+        live = tracer is not None and tracer.enabled
+        self._obs = tracer if live and tracer.wants(CAT_MEM) else None
+        self._obs_wec = tracer if live and tracer.wants(CAT_WEC) else None
+        self.l1d.attach_tracer(tracer, tu_id)
         if sidecar_cfg.kind is SidecarKind.NONE:
             self.sidecar: Optional[FullyAssocBuffer] = None
         else:
             self.sidecar = FullyAssocBuffer(
                 sidecar_cfg.entries, name=f"tu{tu_id}.{sidecar_cfg.kind.value}"
             )
+            self.sidecar.attach_tracer(tracer, tu_id)
         # Bind the policy methods once (avoids per-access dispatch).
         kind = sidecar_cfg.kind
         self.load_correct: Callable[[int], int]
@@ -150,7 +167,10 @@ class TUMemSystem:
 
     def _fill_from_l2(self, block: int, wrong: bool = False, prefetch: bool = False) -> int:
         """Fetch a block from the next level; returns the fill latency."""
-        return self.l2.read(self._byte(block), self.tu_id, wrong=wrong, prefetch=prefetch)
+        latency = self.l2.read(self._byte(block), self.tu_id, wrong=wrong, prefetch=prefetch)
+        if self._obs is not None and not prefetch:
+            self._obs.emit(WRONG_FILL if wrong else L1_FILL, self.tu_id, block, latency)
+        return latency
 
     def _prefetch_next_into_sidecar(self, block: int) -> None:
         """Next-line prefetch into the WEC / prefetch buffer (§3.2.1)."""
@@ -160,6 +180,8 @@ class TUMemSystem:
             return
         self.stats.counter("prefetches").add()
         latency = self._fill_from_l2(target, prefetch=True)
+        if self._obs_wec is not None:
+            self._obs_wec.emit(WEC_NLP, self.tu_id, target, latency)
         flags = PREFETCHED
         if latency > self.l2.cfg.l2.hit_latency:
             flags |= PF_FAR
@@ -167,8 +189,10 @@ class TUMemSystem:
         if bumped is not None and bumped[1] & DIRTY:
             self._writeback(bumped[0])
 
-    def _count_usefulness(self, flags: int) -> None:
-        """Attribute a correct-path hit to wrong execution / prefetching."""
+    def _count_usefulness(self, block: int, flags: int) -> None:
+        """Attribute a correct-path sidecar hit to wrong execution / prefetching."""
+        if self._obs_wec is not None:
+            self._obs_wec.emit(WEC_HIT, self.tu_id, block, flags)
         if flags & WRONG:
             self.stats.counter("useful_wrong_hits").add()
         if flags & PREFETCHED:
@@ -200,6 +224,8 @@ class TUMemSystem:
             stats.counter("l1_hits").add()
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block)
         assert self.sidecar is not None
         sflags = self.sidecar.probe(block)
         if sflags is not None:
@@ -208,7 +234,7 @@ class TUMemSystem:
             # presence to wrong execution or to a previous prefetch.
             stats.counter("sidecar_hits").add()
             stats.counter("wec_promotions").add()
-            self._count_usefulness(sflags)
+            self._count_usefulness(block, sflags)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_sidecar(evicted)
@@ -238,11 +264,13 @@ class TUMemSystem:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block, 1)
         assert self.sidecar is not None
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             stats.counter("sidecar_hits").add()
-            self._count_usefulness(sflags)
+            self._count_usefulness(block, sflags)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, DIRTY)
             self._evict_to_sidecar(evicted)
@@ -285,11 +313,13 @@ class TUMemSystem:
             stats.counter("l1_hits").add()
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block)
         assert self.sidecar is not None
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             stats.counter("sidecar_hits").add()
-            self._count_usefulness(sflags)
+            self._count_usefulness(block, sflags)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_sidecar(evicted)
@@ -311,6 +341,8 @@ class TUMemSystem:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block, 1)
         assert self.sidecar is not None
         sflags = self.sidecar.probe(block)
         if sflags is not None:
@@ -372,13 +404,15 @@ class TUMemSystem:
                 return HIT_LATENCY + late
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block)
         assert self.sidecar is not None
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             # First hit to a prefetched block waiting in the buffer:
             # promote it and prefetch the next line (tagged prefetching).
             stats.counter("sidecar_hits").add()
-            self._count_usefulness(sflags)
+            self._count_usefulness(block, sflags)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_l2(evicted)
@@ -405,6 +439,8 @@ class TUMemSystem:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block, 1)
         assert self.sidecar is not None
         sflags = self.sidecar.probe(block)
         if sflags is not None:
@@ -430,6 +466,8 @@ class TUMemSystem:
             return
         self.stats.counter("prefetches").add()
         latency = self._fill_from_l2(target, prefetch=True)
+        if self._obs_wec is not None:
+            self._obs_wec.emit(WEC_NLP, self.tu_id, target, latency)
         flags = PREFETCHED
         if latency > self.l2.cfg.l2.hit_latency:
             flags |= PF_FAR
@@ -455,10 +493,12 @@ class TUMemSystem:
                 return HIT_LATENCY + late
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block)
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             stats.counter("sidecar_hits").add()
-            self._count_usefulness(sflags)
+            self._count_usefulness(block, sflags)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_l2(evicted)
@@ -491,6 +531,8 @@ class TUMemSystem:
                 self.l1d.clear_flags(block, WRONG)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block)
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
         evicted = self.l1d.insert(block, 0)
@@ -508,6 +550,8 @@ class TUMemSystem:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
+        if self._obs is not None:
+            self._obs.emit(L1_MISS, self.tu_id, block, 1)
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
         evicted = self.l1d.insert(block, DIRTY)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..common.config import MemorySystemConfig
 from ..common.stats import CounterGroup
+from ..obs.events import CAT_MEM, L2_FILL, L2_MISS
 from .cache import DIRTY, SetAssocCache
 from .mainmem import MainMemory
 
@@ -21,13 +22,18 @@ __all__ = ["SharedL2"]
 class SharedL2:
     """Shared unified L2 in front of main memory."""
 
-    __slots__ = ("cfg", "cache", "memory", "stats")
+    __slots__ = ("cfg", "cache", "memory", "stats", "_obs")
 
-    def __init__(self, cfg: MemorySystemConfig) -> None:
+    def __init__(self, cfg: MemorySystemConfig, tracer=None) -> None:
         self.cfg = cfg
         self.cache = SetAssocCache(cfg.l2)
         self.memory = MainMemory(cfg.memory_latency)
         self.stats = CounterGroup("l2")
+        self._obs = (
+            tracer
+            if tracer is not None and tracer.enabled and tracer.wants(CAT_MEM)
+            else None
+        )
 
     def read(self, byte_addr: int, tu_id: int, wrong: bool = False, prefetch: bool = False) -> int:
         """Fetch the block containing ``byte_addr`` for an L1 fill.
@@ -49,6 +55,9 @@ class SharedL2:
             return self.cfg.l2.hit_latency
         stats.counter("misses").add()
         latency = self.memory.read()
+        if self._obs is not None:
+            self._obs.emit(L2_MISS, tu_id, block)
+            self._obs.emit(L2_FILL, tu_id, block, latency)
         evicted = self.cache.insert(block, 0)
         if evicted is not None and evicted[1] & DIRTY:
             self.memory.write()

@@ -1,0 +1,68 @@
+"""repro.obs — structured event tracing, interval metrics, trace export.
+
+The observability subsystem threads a :class:`~repro.obs.tracer.Tracer`
+handle through every simulator layer (scheduler, thread units, caches,
+sidecar, L2, branch units).  The default is no tracer at all — hot paths
+pay a single ``is not None`` test — while an attached
+:class:`RingBufferTracer` records the timeline the paper's argument is
+made of: wrong-path loads firing after branch resolution, wrong threads
+prefetching the next invocation's working set, WEC hits chaining
+next-line prefetches.
+
+Quickstart::
+
+    from repro import run_simulation, named_config
+    from repro.obs import IntervalMetrics, RingBufferTracer
+    from repro.obs.export import write_chrome_trace
+
+    tracer = RingBufferTracer(metrics=IntervalMetrics(window=4096))
+    result = run_simulation("181.mcf", named_config("wth-wp-wec"),
+                            tracer=tracer)
+    write_chrome_trace(tracer.events(), "trace.json",
+                       interval_series=result.interval_series)
+    # open trace.json in https://ui.perfetto.dev
+
+Or from the command line::
+
+    python -m repro trace 181.mcf wth-wp-wec --out trace.json
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, sampling
+semantics, and the Perfetto how-to.
+"""
+
+from .events import (
+    CAT_BRANCH,
+    CAT_MEM,
+    CAT_REGION,
+    CAT_RING,
+    CAT_THREAD,
+    CAT_WEC,
+    CATEGORIES,
+    Event,
+    KIND_CATEGORY,
+    KIND_NAMES,
+    event_to_dict,
+)
+from .export import chrome_trace, write_chrome_trace, write_jsonl
+from .tracer import IntervalMetrics, NullTracer, RingBufferTracer, Tracer
+
+__all__ = [
+    "CAT_BRANCH",
+    "CAT_MEM",
+    "CAT_REGION",
+    "CAT_RING",
+    "CAT_THREAD",
+    "CAT_WEC",
+    "CATEGORIES",
+    "Event",
+    "KIND_CATEGORY",
+    "KIND_NAMES",
+    "event_to_dict",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "IntervalMetrics",
+    "NullTracer",
+    "RingBufferTracer",
+    "Tracer",
+]

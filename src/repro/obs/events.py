@@ -1,0 +1,208 @@
+"""Typed event records for the tracing subsystem.
+
+Every event is a compact :class:`Event` tuple stamped with the simulated
+cycle and the thread unit it happened on.  Kinds are small integers (not
+enums) so hot emit sites pay one tuple construction and nothing else;
+:data:`KIND_NAMES` and :data:`KIND_CATEGORY` map them back to readable
+names and to the coarse categories the tracer filters on.
+
+The taxonomy follows the paper's mechanism inventory:
+
+* **thread** — thread-pipelining lifecycle: forks, per-iteration spans
+  and retires, wrong-thread aborts/kills (§2.2, §3.1.2);
+* **region** — program-structure begin/end markers, one per invocation;
+* **branch** — branch resolution (the wrong-path trigger, §3.1.1);
+* **mem** — L1/L2 misses and fills, wrong-execution loads and fills,
+  L1 evictions;
+* **wec** — sidecar (WEC / VC / PB) inserts, correct-path hits and the
+  chained next-line prefetches of §3.2.1;
+* **ring** — target-store value forwarding between adjacent TUs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Tuple
+
+__all__ = [
+    "Event",
+    "CAT_THREAD",
+    "CAT_REGION",
+    "CAT_BRANCH",
+    "CAT_MEM",
+    "CAT_WEC",
+    "CAT_RING",
+    "CATEGORIES",
+    "METRICS_CATEGORIES",
+    "REGION_BEGIN",
+    "REGION_END",
+    "ITER_SPAN",
+    "ITER_RETIRE",
+    "THREAD_FORK",
+    "THREAD_ABORT",
+    "THREAD_KILL",
+    "WP_ENTER",
+    "WP_EXIT",
+    "BRANCH_RESOLVE",
+    "L1_MISS",
+    "L1_FILL",
+    "L1_EVICT",
+    "L2_MISS",
+    "L2_FILL",
+    "WEC_INSERT",
+    "WEC_HIT",
+    "WEC_NLP",
+    "WRONG_LOAD",
+    "WRONG_FILL",
+    "RING_FORWARD",
+    "KIND_NAMES",
+    "KIND_CATEGORY",
+    "event_to_dict",
+]
+
+
+class Event(NamedTuple):
+    """One traced occurrence.
+
+    ``a`` and ``b`` are kind-specific integer payloads (block address,
+    instruction count, flags, ...); ``dur`` is a span length in cycles
+    for span-shaped events (zero for instants); ``tag`` carries the rare
+    string payload (region names).
+    """
+
+    cycle: float
+    kind: int
+    tu: int
+    a: int = 0
+    b: int = 0
+    dur: float = 0.0
+    tag: str = ""
+
+
+# -- categories -------------------------------------------------------------
+
+CAT_THREAD = "thread"
+CAT_REGION = "region"
+CAT_BRANCH = "branch"
+CAT_MEM = "mem"
+CAT_WEC = "wec"
+CAT_RING = "ring"
+
+CATEGORIES: Tuple[str, ...] = (
+    CAT_THREAD, CAT_REGION, CAT_BRANCH, CAT_MEM, CAT_WEC, CAT_RING,
+)
+
+#: Categories the :class:`~repro.obs.tracer.IntervalMetrics` collector
+#: consumes; a tracer carrying one reports them as wanted even when the
+#: ring filter excludes them.
+METRICS_CATEGORIES: Tuple[str, ...] = (CAT_THREAD, CAT_MEM, CAT_WEC)
+
+
+# -- kinds ------------------------------------------------------------------
+
+#: Region (loop / sequential section) entered; a=invocation, tag=name.
+REGION_BEGIN = 1
+#: Region completed; a=invocation, b=iterations, dur=region cycles.
+REGION_END = 2
+#: One iteration's occupancy of a TU; a=global iter, b=n_instr, dur=span.
+ITER_SPAN = 3
+#: Iteration/chunk retired (write-back done); a=n_instr, b=n_loads.
+ITER_RETIRE = 4
+#: Successor thread forked onto a TU; a=global iter, b=values forwarded.
+THREAD_FORK = 5
+#: Speculative thread aborted but allowed to run on wrong (§3.1.2); a=iter.
+THREAD_ABORT = 6
+#: Wrong thread reached its self-kill; a=wrong loads it performed.
+THREAD_KILL = 7
+#: Wrong-path injection begins at a resolved misprediction; a=branch pc.
+WP_ENTER = 8
+#: Wrong-path injection ends; a=wrong loads issued, b=branch index.
+WP_EXIT = 9
+#: Conditional branch resolved; a=pc, b=1 if mispredicted.
+BRANCH_RESOLVE = 10
+#: Correct-path L1D miss; a=block, b=1 if store.
+L1_MISS = 11
+#: Block filled from beyond the L1 on the correct path; a=block, b=latency.
+L1_FILL = 12
+#: Block evicted from a cache; a=block, b=flags.
+L1_EVICT = 13
+#: Shared-L2 miss; a=L2 block.
+L2_MISS = 14
+#: Shared-L2 fill from main memory; a=L2 block, b=latency.
+L2_FILL = 15
+#: Block installed into the sidecar (WEC / VC / PB); a=block, b=flags.
+WEC_INSERT = 16
+#: Correct-path access hit the sidecar; a=block, b=flags at hit time.
+WEC_HIT = 17
+#: Next-line prefetch chained into the sidecar (§3.2.1); a=target block.
+WEC_NLP = 18
+#: One wrong-execution load issued; a=byte addr, b=1 if wrong-thread.
+WRONG_LOAD = 19
+#: Wrong-execution load missed and filled (WEC or L1); a=block, b=latency.
+WRONG_FILL = 20
+#: Target-store values forwarded over the ring; a=value count, tu=receiver.
+RING_FORWARD = 21
+
+KIND_NAMES: Dict[int, str] = {
+    REGION_BEGIN: "region_begin",
+    REGION_END: "region_end",
+    ITER_SPAN: "iter_span",
+    ITER_RETIRE: "iter_retire",
+    THREAD_FORK: "thread_fork",
+    THREAD_ABORT: "thread_abort",
+    THREAD_KILL: "thread_kill",
+    WP_ENTER: "wp_enter",
+    WP_EXIT: "wp_exit",
+    BRANCH_RESOLVE: "branch_resolve",
+    L1_MISS: "l1_miss",
+    L1_FILL: "l1_fill",
+    L1_EVICT: "l1_evict",
+    L2_MISS: "l2_miss",
+    L2_FILL: "l2_fill",
+    WEC_INSERT: "wec_insert",
+    WEC_HIT: "wec_hit",
+    WEC_NLP: "wec_nlp_prefetch",
+    WRONG_LOAD: "wrong_load",
+    WRONG_FILL: "wrong_fill",
+    RING_FORWARD: "ring_forward",
+}
+
+KIND_CATEGORY: Dict[int, str] = {
+    REGION_BEGIN: CAT_REGION,
+    REGION_END: CAT_REGION,
+    ITER_SPAN: CAT_THREAD,
+    ITER_RETIRE: CAT_THREAD,
+    THREAD_FORK: CAT_THREAD,
+    THREAD_ABORT: CAT_THREAD,
+    THREAD_KILL: CAT_THREAD,
+    WP_ENTER: CAT_THREAD,
+    WP_EXIT: CAT_THREAD,
+    BRANCH_RESOLVE: CAT_BRANCH,
+    L1_MISS: CAT_MEM,
+    L1_FILL: CAT_MEM,
+    L1_EVICT: CAT_MEM,
+    L2_MISS: CAT_MEM,
+    L2_FILL: CAT_MEM,
+    WEC_INSERT: CAT_WEC,
+    WEC_HIT: CAT_WEC,
+    WEC_NLP: CAT_WEC,
+    WRONG_LOAD: CAT_MEM,
+    WRONG_FILL: CAT_MEM,
+    RING_FORWARD: CAT_RING,
+}
+
+
+def event_to_dict(event: Event) -> Dict[str, object]:
+    """Readable dict form of one event (JSONL export, debugging)."""
+    out: Dict[str, object] = {
+        "cycle": event.cycle,
+        "kind": KIND_NAMES.get(event.kind, str(event.kind)),
+        "cat": KIND_CATEGORY.get(event.kind, "?"),
+        "tu": event.tu,
+        "a": event.a,
+        "b": event.b,
+    }
+    if event.dur:
+        out["dur"] = event.dur
+    if event.tag:
+        out["tag"] = event.tag
+    return out

@@ -15,6 +15,7 @@ from typing import Optional, Union
 
 from ..common.config import MachineConfig, SimParams
 from ..common.rng import StreamFactory
+from ..obs.tracer import IntervalMetrics
 from ..sta.machine import Machine
 from ..sta.scheduler import Scheduler
 from ..workloads.benchmarks import build_benchmark
@@ -33,27 +34,37 @@ def run_simulation(
     benchmark: Union[str, Program],
     config: MachineConfig,
     params: SimParams = SimParams(),
+    tracer=None,
 ) -> SimResult:
     """Simulate ``benchmark`` (name or prebuilt program) on ``config``.
 
     When given a name the benchmark model is built at ``params.scale``;
     passing a :class:`Program` lets callers reuse one across configs
     (they are stateless, so this is purely a construction-time saving).
+
+    ``tracer`` is an optional :mod:`repro.obs` sink (RingBufferTracer,
+    IntervalMetrics, ...).  It is deliberately *not* part of
+    :class:`SimParams`: params are hashed into the sweep executor's
+    result-cache keys and shipped to worker processes, and a stateful
+    tracer belongs in neither.  Tracing never perturbs simulated timing
+    or the RNG streams, so traced and untraced runs produce identical
+    results.
     """
     if isinstance(benchmark, str):
         program = build_benchmark(benchmark, scale=params.scale)
     else:
         program = benchmark
-    return run_program(program, config, params)
+    return run_program(program, config, params, tracer=tracer)
 
 
 def run_program(
     program: Program,
     config: MachineConfig,
     params: SimParams = SimParams(),
+    tracer=None,
 ) -> SimResult:
     """Simulate a prebuilt :class:`Program` on ``config``."""
-    machine = Machine(config, params)
+    machine = Machine(config, params, tracer=tracer)
     tracegen = TraceGenerator(StreamFactory(params.seed))
     scheduler = Scheduler(machine, tracegen)
 
@@ -96,6 +107,13 @@ def run_program(
 
     counters = machine.collect_stats()
     instructions = sum(tu.stats["instructions"] for tu in machine.tus)
+    interval_series = None
+    if tracer is not None:
+        metrics = getattr(tracer, "metrics", None)
+        if metrics is None and isinstance(tracer, IntervalMetrics):
+            metrics = tracer
+        if metrics is not None:
+            interval_series = metrics.series()
     return SimResult(
         benchmark=program.name,
         config=config.name,
@@ -121,4 +139,5 @@ def run_program(
         region_cycles=region_records,
         seed=params.seed,
         scale=params.scale,
+        interval_series=interval_series,
     )

@@ -51,6 +51,9 @@ class SimResult:
     region_cycles: List[Dict] = field(default_factory=list)
     seed: int = 0
     scale: float = 0.0
+    #: Per-window metric series (``repro.obs.IntervalMetrics``); None
+    #: unless the run was traced with an interval collector attached.
+    interval_series: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.total_cycles <= 0:
@@ -108,7 +111,7 @@ class SimResult:
     @property
     def ipc(self) -> float:
         """Aggregate committed instructions per cycle."""
-        return self.instructions / self.total_cycles
+        return self.instructions / self.total_cycles if self.total_cycles else 0.0
 
     @property
     def mispredict_rate(self) -> float:

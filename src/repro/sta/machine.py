@@ -23,14 +23,22 @@ __all__ = ["Machine"]
 class Machine:
     """A configured superthreaded processor ready to execute programs."""
 
-    __slots__ = ("cfg", "params", "l2", "tus", "bus", "head_tu")
+    __slots__ = ("cfg", "params", "l2", "tus", "bus", "head_tu", "tracer")
 
-    def __init__(self, cfg: MachineConfig, params: SimParams = SimParams()) -> None:
+    def __init__(
+        self,
+        cfg: MachineConfig,
+        params: SimParams = SimParams(),
+        tracer=None,
+    ) -> None:
         self.cfg = cfg
         self.params = params
-        self.l2 = SharedL2(cfg.mem)
+        #: Observability sink shared by every component (None → untraced).
+        self.tracer = tracer
+        self.l2 = SharedL2(cfg.mem, tracer=tracer)
         self.tus: List[ThreadUnit] = [
-            ThreadUnit(i, cfg, self.l2, params) for i in range(cfg.n_thread_units)
+            ThreadUnit(i, cfg, self.l2, params, tracer=tracer)
+            for i in range(cfg.n_thread_units)
         ]
         self.bus = UpdateBus([tu.mem for tu in self.tus])
         #: The TU currently holding the non-speculative head thread;

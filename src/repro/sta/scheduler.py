@@ -33,6 +33,17 @@ import numpy as np
 
 from ..common.errors import SimulationError
 from ..core.thread_unit import ThreadUnit
+from ..obs.events import (
+    CAT_REGION,
+    CAT_RING,
+    CAT_THREAD,
+    ITER_RETIRE,
+    ITER_SPAN,
+    REGION_BEGIN,
+    REGION_END,
+    RING_FORWARD,
+    THREAD_FORK,
+)
 from ..workloads.program import ParallelRegionSpec, SequentialRegionSpec
 from ..workloads.tracegen import TraceGenerator
 from .machine import Machine
@@ -56,11 +67,24 @@ class RegionResult:
 class Scheduler:
     """Drives a :class:`Machine` through a program's regions."""
 
-    __slots__ = ("machine", "tracegen")
+    __slots__ = (
+        "machine", "tracegen", "_clock",
+        "_tracer", "_obs_region", "_obs_thread", "_obs_ring",
+    )
 
     def __init__(self, machine: Machine, tracegen: TraceGenerator) -> None:
         self.machine = machine
         self.tracegen = tracegen
+        # Global simulated-cycle base: regions execute one after another,
+        # so each region's local schedule is offset by the cycles of
+        # everything that ran before it.  Only tracing consumes this.
+        self._clock = 0.0
+        tracer = machine.tracer
+        live = tracer is not None and tracer.enabled
+        self._tracer = tracer if live else None
+        self._obs_region = tracer if live and tracer.wants(CAT_REGION) else None
+        self._obs_thread = tracer if live and tracer.wants(CAT_THREAD) else None
+        self._obs_ring = tracer if live and tracer.wants(CAT_RING) else None
 
     # ------------------------------------------------------------------
     # parallel regions
@@ -86,10 +110,23 @@ class Scheduler:
         region_end = 0.0
         coupling = region.dep_coupling
         multi_tu = n_tus > 1
+        base = self._clock
+        obs = self._tracer
+        obs_t = self._obs_thread
+        if self._obs_region is not None:
+            self._obs_region.emit(
+                REGION_BEGIN, 0, invocation, tag=region.name, cycle=base
+            )
 
         for i in range(lo, hi):
             tu = machine.tu_for_iteration(i)
             trace = tracegen.iteration_trace(region, i)
+            if obs is not None:
+                # Replay happens before the schedule times are composed;
+                # stamp its events with the best available estimate of
+                # this iteration's start (exact when the fork-point bound
+                # dominates, which it almost always does).
+                obs.now = base + max(prev_cont_end, tu_free[tu.tu_id])
             timing = tu.execute_iteration(
                 region,
                 i,
@@ -100,6 +137,7 @@ class Scheduler:
                 ),
             )
             if i == lo:
+                fork_at = 0.0
                 start = tu_free[tu.tu_id]
             else:
                 fork_at = prev_cont_end
@@ -120,6 +158,31 @@ class Scheduler:
             wb_start = max(comp_end, prev_wb_end)
             wb_end = wb_start + timing.writeback
 
+            if obs_t is not None:
+                # Exact post-hoc schedule events (timings are now known).
+                if i > lo and multi_tu:
+                    obs_t.emit(
+                        THREAD_FORK, tu.tu_id, i, trace.n_forward_values,
+                        cycle=base + fork_at,
+                    )
+                obs_t.emit(
+                    ITER_SPAN, tu.tu_id, i, trace.n_instr,
+                    wb_end - start, cycle=base + start,
+                )
+                obs_t.emit(
+                    ITER_RETIRE, tu.tu_id, trace.n_instr, trace.n_loads,
+                    cycle=base + wb_end,
+                )
+            if (
+                self._obs_ring is not None
+                and prev_targets is not None
+                and len(prev_targets)
+            ):
+                self._obs_ring.emit(
+                    RING_FORWARD, tu.tu_id, int(len(prev_targets)),
+                    cycle=base + start,
+                )
+
             tu_free[tu.tu_id] = wb_end
             prev_cont_end = cont_end
             prev_comp_end = comp_end
@@ -135,11 +198,19 @@ class Scheduler:
             # Successor threads were forked for iterations hi, hi+1, ...;
             # instead of dying they run on as wrong threads (§3.1.2),
             # overlapping the following sequential code at zero cost.
+            if obs is not None:
+                obs.now = base + region_end
             for k in range(n_tus - 1):
                 wrong_iter = hi + k
                 tu = machine.tu_for_iteration(wrong_iter)
                 wrong_loads += tu.run_wrong_thread(region, wrong_iter, tracegen)
         machine.set_head((hi - 1) % n_tus)
+        self._clock = base + region_end
+        if self._obs_region is not None:
+            self._obs_region.emit(
+                REGION_END, 0, invocation, hi - lo, region_end,
+                tag=region.name, cycle=base + region_end,
+            )
 
         return RegionResult(
             name=region.name,
@@ -163,12 +234,36 @@ class Scheduler:
         tu = machine.tus[machine.head_tu]
         lo, hi = region.global_chunk_range(invocation)
         cycles = 0.0
+        base = self._clock
+        obs = self._tracer
+        obs_t = self._obs_thread
+        if self._obs_region is not None:
+            self._obs_region.emit(
+                REGION_BEGIN, tu.tu_id, invocation, tag=region.name, cycle=base
+            )
         for c in range(lo, hi):
+            if obs is not None:
+                obs.now = base + cycles
             trace = tracegen.chunk_trace(region, c)
             timing = tu.execute_sequential_chunk(
                 region, c, trace, tracegen, update_bus=machine.bus
             )
+            if obs_t is not None:
+                obs_t.emit(
+                    ITER_SPAN, tu.tu_id, c, trace.n_instr,
+                    timing.total, cycle=base + cycles,
+                )
+                obs_t.emit(
+                    ITER_RETIRE, tu.tu_id, trace.n_instr, trace.n_loads,
+                    cycle=base + cycles + timing.total,
+                )
             cycles += timing.total
+        self._clock = base + cycles
+        if self._obs_region is not None:
+            self._obs_region.emit(
+                REGION_END, tu.tu_id, invocation, hi - lo, cycles,
+                tag=region.name, cycle=base + cycles,
+            )
         return RegionResult(
             name=region.name,
             kind="sequential",

@@ -7,6 +7,7 @@ rather than exact numbers.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -16,12 +17,19 @@ import pytest
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str, *args: str, timeout: int = 300) -> str:
+def run_example(name: str, *args: str, timeout: int = 300, cwd=None) -> str:
+    env = os.environ.copy()
+    # Absolute src path: a relative PYTHONPATH=src would break under cwd.
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(EXAMPLES.parent / "src"), env.get("PYTHONPATH", "")]
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        cwd=cwd,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
@@ -46,6 +54,14 @@ class TestExamples:
         out = run_example("custom_workload.py")
         assert "custom stencil workload" in out
         assert "baseline" in out
+
+    def test_trace_wrong_execution(self, tmp_path):
+        # cwd=tmp_path: the example writes its trace file to the cwd.
+        out = run_example("trace_wrong_execution.py", "1e-4", cwd=tmp_path)
+        assert "wrong-execution fills" in out
+        assert "used by correct path" in out
+        assert "gap distribution" in out
+        assert (tmp_path / "wrong_execution_trace.json").exists()
 
     def test_design_space_sweep_small(self):
         out = run_example("design_space_sweep.py", "2e-5")

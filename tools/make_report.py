@@ -14,10 +14,11 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import CONFIG_NAMES, SimParams, named_config
+from repro import CONFIG_NAMES, SimParams, named_config, run_simulation
 from repro.analysis.report import ExperimentRecord, render_report
 from repro.analysis.speedup import suite_average_speedup_pct
 from repro.common.stats import arithmetic_mean
+from repro.obs.tracer import IntervalMetrics
 from repro.sim.executor import default_jobs
 from repro.sim.sweep import run_grid
 
@@ -121,6 +122,41 @@ def main() -> int:
         ch["wp-wec"] > ch["wth-wec"] > ch["wec-victim-only"],
     )
     records.append(chan)
+
+    # -- Interval metrics (repro.obs) ------------------------------------
+    obs = ExperimentRecord(
+        exp_id="Intervals",
+        title="Per-window metric series from a traced run",
+        workload="181.mcf on wth-wp-wec, IntervalMetrics(window=4096)",
+        bench_target="repro trace 181.mcf wth-wp-wec --out trace.json",
+    )
+    traced = run_simulation(
+        "181.mcf", named_config("wth-wp-wec"), params,
+        tracer=IntervalMetrics(window=4096.0),
+    )
+    series = traced.interval_series or {}
+    n_win = len(series.get("window_start", []))
+    obs.add_check(
+        "traced run yields a non-empty interval series",
+        "> 10 windows", f"{n_win} windows", n_win > 10,
+    )
+    # Windowed IPC should integrate back to the aggregate IPC.  Windows
+    # overlap across TUs and the last one is partial, so the tolerance
+    # is loose — this guards unit errors (per-window vs per-cycle), not
+    # precision.
+    mean_ipc = arithmetic_mean(series["ipc"]) if n_win else 0.0
+    obs.add_check(
+        "mean windowed IPC tracks aggregate IPC",
+        f"≈ {traced.ipc:.2f}", f"{mean_ipc:.2f}",
+        n_win > 0 and 0.5 * traced.ipc < mean_ipc < 2.0 * traced.ipc,
+    )
+    obs.add_check(
+        "the WEC absorbs misses in some window",
+        "max wec_hit_rate > 0",
+        f"{max(series['wec_hit_rate']) if n_win else 0.0:.2f}",
+        n_win > 0 and max(series["wec_hit_rate"]) > 0.0,
+    )
+    records.append(obs)
 
     header = (
         f"# Reproduction report\n\n"

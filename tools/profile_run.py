@@ -5,43 +5,71 @@ Prints the cProfile hot spots of a single (benchmark, configuration)
 simulation, so regressions in the replay loop are visible before they
 cost minutes across a figure sweep.
 
-Usage: python tools/profile_run.py [benchmark] [config] [scale]
+Usage::
+
+    python tools/profile_run.py [benchmark] [config] [scale]
+        [--seed N] [--top N] [--dump FILE] [--trace]
+
+``--trace`` attaches a full RingBufferTracer, so the profile shows what
+tracing itself costs relative to the untraced hot loop.
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
 import pstats
-import sys
 import time
 
 from repro import SimParams, build_benchmark, named_config, run_program
+from repro.obs.tracer import IntervalMetrics, RingBufferTracer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("benchmark", nargs="?", default="181.mcf")
+    p.add_argument("config", nargs="?", default="wth-wp-wec")
+    p.add_argument("scale", nargs="?", type=float, default=2e-4)
+    p.add_argument("--seed", type=int, default=2003)
+    p.add_argument("--top", type=int, default=18,
+                   help="rows in the cumulative-time table (default 18)")
+    p.add_argument("--dump", metavar="FILE", default=None,
+                   help="write raw pstats data to FILE (snakeviz-able)")
+    p.add_argument("--trace", action="store_true",
+                   help="attach a RingBufferTracer to measure trace overhead")
+    return p
 
 
 def main() -> int:
-    bench = sys.argv[1] if len(sys.argv) > 1 else "181.mcf"
-    config = sys.argv[2] if len(sys.argv) > 2 else "wth-wp-wec"
-    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 2e-4
+    args = build_parser().parse_args()
 
-    params = SimParams(seed=2003, scale=scale)
-    program = build_benchmark(bench, scale)
-    cfg = named_config(config)
+    params = SimParams(seed=args.seed, scale=args.scale)
+    program = build_benchmark(args.benchmark, args.scale)
+    cfg = named_config(args.config)
+    tracer = (
+        RingBufferTracer(metrics=IntervalMetrics()) if args.trace else None
+    )
 
     t0 = time.perf_counter()
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_program(program, cfg, params)
+    result = run_program(program, cfg, params, tracer=tracer)
     profiler.disable()
     wall = time.perf_counter() - t0
 
-    print(f"{bench} on {config}: {result.total_cycles:.0f} simulated cycles, "
+    traced = " (traced)" if args.trace else ""
+    print(f"{args.benchmark} on {args.config}{traced}: "
+          f"{result.total_cycles:.0f} simulated cycles, "
           f"{result.instructions} instructions, {wall:.2f}s wall")
     print(f"simulation rate: {result.instructions / wall / 1e3:.0f} "
           f"kinstr/s (timed instructions only)\n")
     stats = pstats.Stats(profiler)
-    stats.sort_stats("cumulative").print_stats(18)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"raw profile written to {args.dump}\n")
+    stats.sort_stats("cumulative").print_stats(args.top)
     print("--- by self time ---")
-    stats.sort_stats("tottime").print_stats(12)
+    stats.sort_stats("tottime").print_stats(max(args.top // 2, 6))
     return 0
 
 
