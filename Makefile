@@ -2,21 +2,32 @@
 #
 #   make test         tier-1 suite (unit/property/integration tests)
 #   make bench-smoke  one figure bench at tiny scale through the
-#                     parallel executor path (jobs=2) — fast CI probe
+#                     parallel executor path (jobs=2) — fast CI probe;
+#                     records to the perf ledger and leaves
+#                     BENCH_smoke.json behind
+#   make perf-gate    bench-smoke + regression check vs the committed
+#                     baseline (benchmarks/BENCH_baseline.json)
 #   make bench        full figure/table regeneration at calibrated scale
 #   make calibrate    calibration dashboard (cached, parallel)
 
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke calibrate
+.PHONY: test bench bench-smoke perf-gate calibrate
 
 test:
 	$(PY) -m pytest -x -q
 
 bench-smoke:
+	rm -rf .perf-smoke
 	REPRO_BENCH_SCALE=2e-5 REPRO_JOBS=2 REPRO_NO_CACHE=1 REPRO_BENCH_SMOKE=1 \
+	REPRO_PERF_DIR=.perf-smoke \
 	$(PY) -m pytest benchmarks/bench_fig11_configs.py --benchmark-only -q
+	$(PY) -m repro perf report --dir .perf-smoke --json BENCH_smoke.json
+
+perf-gate: bench-smoke
+	$(PY) -m repro perf compare benchmarks/BENCH_baseline.json \
+	BENCH_smoke.json --threshold 10%
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q

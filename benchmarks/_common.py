@@ -19,6 +19,12 @@ whole grids go through :func:`grid`, which fans cache misses out over
 
 Set the environment variable ``REPRO_BENCH_SCALE`` to change the
 instruction scale (default: the calibrated ``2e-4``).
+
+With ``$REPRO_PERF_DIR`` set, every cell a bench run actually executes
+(cache hits excluded) is appended to the performance ledger with
+context ``"bench"`` — see ``docs/OBSERVABILITY.md`` and
+``repro perf report``; ``make bench-smoke`` uses this to emit
+``BENCH_smoke.json``.
 """
 
 from __future__ import annotations
@@ -81,7 +87,9 @@ def run(bench: str, cfg: MachineConfig) -> SimResult:
     """Memoized, disk-cached simulation of one (benchmark, config) pair."""
     key = (bench, config_key(cfg))
     if key not in _results:
-        outcome = run_cells([SweepCell(bench, cfg.name, cfg, _params)])
+        outcome = run_cells(
+            [SweepCell(bench, cfg.name, cfg, _params)], perf_context="bench"
+        )
         _results[key] = outcome.results[(bench, cfg.name)]
     return _results[key]
 
@@ -101,7 +109,7 @@ def grid(
         for bench in benchmarks
         for label, cfg in configs.items()
     ]
-    outcome = run_cells(cells, jobs=default_jobs())
+    outcome = run_cells(cells, jobs=default_jobs(), perf_context="bench")
     for cell in cells:
         _results[(cell.benchmark, config_key(cell.config))] = outcome.results[
             cell.grid_key

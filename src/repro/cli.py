@@ -15,6 +15,10 @@ Commands
 ``trace``
     Simulate one benchmark/config pair with event tracing on and write
     a Perfetto-loadable Chrome trace (see ``docs/OBSERVABILITY.md``).
+``perf record | compare | report``
+    The performance observatory: append profiled runs to the persistent
+    ledger (``$REPRO_PERF_DIR``, default ``.perf``), compare two record
+    sets benchstat-style, and render the recorded trajectory.
 
 Examples
 --------
@@ -25,31 +29,58 @@ Examples
     python -m repro compare --benchmark equake --configs vc,wth-wp,wth-wp-wec,nlp
     python -m repro suite --config wth-wp-wec --scale 1e-4 --jobs 4
     python -m repro trace 181.mcf wth-wp-wec --out trace.json
+    python -m repro perf record 181.mcf wth-wp-wec --repeat 4 --label before
+    python -m repro perf compare before after --threshold 10%
+    python -m repro perf report --json BENCH_smoke.json
 
 Sweeps resolve through the persistent result cache (``$REPRO_CACHE_DIR``,
 default ``~/.cache/repro``; bypass with ``--no-cache``) and fan cache
 misses out over ``--jobs`` worker processes; ``--manifest PATH`` writes a
 JSON run manifest with per-cell timing and cache hit/miss counts.
+
+Exit codes follow one convention: 0 = success, 1 = a failed run or (for
+``perf compare``) a significant regression beyond the threshold, 2 = a
+usage error (unknown name, unparseable flag, missing input).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.speedup import suite_average_speedup_pct
 from .common.config import SimParams
-from .common.errors import ConfigError
+from .common.errors import (
+    AnalysisError,
+    ConfigError,
+    ReproError,
+    WorkloadError,
+)
+from .obs.compare import compare_records, parse_threshold
 from .obs.events import CATEGORIES
 from .obs.export import write_chrome_trace, write_jsonl
+from .obs.hostprof import HostProfiler, peak_rss_kb
+from .obs.ledger import (
+    Ledger,
+    PerfRecord,
+    default_perf_dir,
+    load_records,
+    write_export,
+)
 from .obs.tracer import IntervalMetrics, RingBufferTracer
-from .sim.driver import run_simulation
-from .sim.executor import default_jobs
+from .sim.driver import run_program, run_simulation
+from .sim.executor import (
+    code_version_token,
+    config_fingerprint,
+    default_jobs,
+)
 from .sim.sweep import run_grid
 from .sim.tables import TextTable
 from .sta.configs import CONFIG_NAMES, named_config
-from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_infos
+from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_infos, build_benchmark
 
 __all__ = ["main", "build_parser"]
 
@@ -128,6 +159,75 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--seed", type=int, default=2003)
     trace_p.add_argument("--tus", type=int, default=8,
                          help="number of thread units (default 8)")
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="performance observatory: record, compare, report",
+    )
+    perf_sub = perf_p.add_subparsers(dest="perf_command", required=True)
+
+    rec_p = perf_sub.add_parser(
+        "record",
+        help="run one benchmark/config pair (profiled) and append the "
+             "measurements to the perf ledger",
+    )
+    rec_p.add_argument("benchmark", help="benchmark name (see `repro list`)")
+    rec_p.add_argument("config", choices=CONFIG_NAMES)
+    rec_p.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="record N repeated runs (host metrics need >=2 "
+                            "per side to test significance; default 1)")
+    rec_p.add_argument("--label", default="",
+                       help="free-form label for later A/B selection "
+                            "(`perf compare <label> <label>`)")
+    rec_p.add_argument("--dir", default=None, metavar="PATH",
+                       help="ledger directory (default $REPRO_PERF_DIR "
+                            "or .perf)")
+    rec_p.add_argument("--scale", type=float, default=2e-4,
+                       help="instruction scale vs Table 2 (default 2e-4)")
+    rec_p.add_argument("--seed", type=int, default=2003)
+    rec_p.add_argument("--tus", type=int, default=8,
+                       help="number of thread units (default 8)")
+    rec_p.add_argument("--trace", action="store_true",
+                       help="attach a full event tracer during the run "
+                            "(adds host-side overhead; simulated metrics "
+                            "are unchanged — useful to exercise the "
+                            "regression detector)")
+    rec_p.add_argument("--no-baseline", action="store_true",
+                       help="skip the orig baseline run (records no "
+                            "speedup_pct)")
+
+    cmpp = perf_sub.add_parser(
+        "compare",
+        help="benchstat-style A/B of two record sets; exit 1 on a "
+             "significant regression beyond --threshold",
+    )
+    cmpp.add_argument("ref", help="baseline side: a ledger dir, a .jsonl "
+                                  "file, a JSON export, or a --label value "
+                                  "in the default ledger")
+    cmpp.add_argument("new", help="candidate side (same forms as ref)")
+    cmpp.add_argument("--threshold", default="5%", metavar="PCT",
+                      help="regression threshold: '10%%', '10' (percent) "
+                           "or '0.1' (fraction); default 5%%")
+    cmpp.add_argument("--metrics", default=None, metavar="NAMES",
+                      help="comma-separated metric names to compare "
+                           "(default: all known metrics present on both "
+                           "sides)")
+    cmpp.add_argument("--dir", default=None, metavar="PATH",
+                      help="ledger directory used to resolve label "
+                           "arguments (default $REPRO_PERF_DIR or .perf)")
+
+    rep_p = perf_sub.add_parser(
+        "report",
+        help="render the recorded performance trajectory as markdown",
+    )
+    rep_p.add_argument("--dir", default=None, metavar="PATH",
+                       help="ledger directory (default $REPRO_PERF_DIR "
+                            "or .perf)")
+    rep_p.add_argument("--label", default=None,
+                       help="only records with this label")
+    rep_p.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the records as a validated JSON "
+                            "export document (e.g. BENCH_smoke.json)")
 
     return p
 
@@ -259,9 +359,17 @@ def _cmd_trace(args) -> int:
         return 2
     params = SimParams(seed=args.seed, scale=args.scale)
     cfg = named_config(args.config, n_tus=args.tus)
-    # Traced runs bypass the result cache: the cached artifact is the
-    # SimResult, not the event stream, and tracing does not change it.
-    result = run_simulation(args.benchmark, cfg, params, tracer=tracer)
+    try:
+        # Traced runs bypass the result cache: the cached artifact is the
+        # SimResult, not the event stream, and tracing does not change it.
+        result = run_simulation(args.benchmark, cfg, params, tracer=tracer)
+    except (ConfigError, WorkloadError) as exc:
+        # A name or knob the simulator rejects is a usage error.
+        print(f"trace: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
     events = tracer.events()
     out = write_chrome_trace(
         events,
@@ -282,6 +390,173 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _perf_ledger_dir(arg: Optional[str]) -> Path:
+    if arg:
+        return Path(arg)
+    return default_perf_dir() or Path(".perf")
+
+
+def _cmd_perf_record(args) -> int:
+    if args.repeat < 1:
+        print("perf record: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    params = SimParams(seed=args.seed, scale=args.scale)
+    cfg = named_config(args.config, n_tus=args.tus)
+    try:
+        program = build_benchmark(args.benchmark, scale=args.scale)
+    except (ConfigError, WorkloadError) as exc:
+        print(f"perf record: {exc}", file=sys.stderr)
+        return 2
+    ledger = Ledger(_perf_ledger_dir(args.dir))
+    config_fp = config_fingerprint(cfg)
+    params_fp = config_fingerprint(params)
+    code_token = code_version_token()
+
+    # The orig baseline only feeds the deterministic speedup_pct metric,
+    # so one unprofiled in-process run is enough for every repeat.
+    baseline = None
+    if not args.no_baseline and args.config != "orig":
+        baseline = run_program(
+            program, named_config("orig", n_tus=args.tus), params
+        )
+
+    for i in range(args.repeat):
+        profiler = HostProfiler()
+        tracer = None
+        if args.trace:
+            tracer = RingBufferTracer(metrics=IntervalMetrics())
+        t0 = time.perf_counter()
+        result = run_program(program, cfg, params,
+                             tracer=tracer, profiler=profiler)
+        wall_s = time.perf_counter() - t0
+        speedup_pct = (
+            result.relative_speedup_pct_vs(baseline)
+            if baseline is not None else None
+        )
+        record = PerfRecord.from_result(
+            result,
+            wall_s=wall_s,
+            speedup_pct=speedup_pct,
+            profile=profiler.snapshot(wall_s),
+            peak_rss_kb=peak_rss_kb(),
+            context="cli.perf.record",
+            label=args.label,
+            config_fp=config_fp,
+            params_fp=params_fp,
+            code_token=code_token,
+        )
+        ledger.append(record)
+        eps = record.host.get("events_per_sec", 0.0)
+        print(f"run {i + 1}/{args.repeat}: {result.total_cycles:.0f} cycles "
+              f"in {wall_s:.3f}s ({eps:,.0f} instr/s"
+              + (f", speedup {speedup_pct:+.1f}%" if speedup_pct is not None
+                 else "") + ")")
+    print(f"ledger : {ledger.path} ({len(ledger)} records)")
+    return 0
+
+
+def _perf_side(spec: str, perf_dir: Path):
+    """Resolve one compare operand: a path, else a label in the ledger."""
+    path = Path(spec)
+    if path.exists():
+        return load_records(path)
+    records = Ledger(perf_dir).records(label=spec)
+    if not records:
+        raise AnalysisError(
+            f"{spec!r} is neither a readable path nor a label with "
+            f"records in {Ledger(perf_dir).path}"
+        )
+    return records
+
+
+def _cmd_perf_compare(args) -> int:
+    perf_dir = _perf_ledger_dir(args.dir)
+    try:
+        threshold = parse_threshold(args.threshold)
+        metrics = None
+        if args.metrics:
+            metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+        ref = _perf_side(args.ref, perf_dir)
+        new = _perf_side(args.new, perf_dir)
+        report = compare_records(ref, new, metrics=metrics)
+    except AnalysisError as exc:
+        print(f"perf compare: {exc}", file=sys.stderr)
+        return 2
+    print(report.render(threshold))
+    regressions = report.regressions(threshold)
+    if regressions:
+        print(f"\n{len(regressions)} significant regression(s) beyond "
+              f"{threshold:g}%:", file=sys.stderr)
+        for group, mc in regressions:
+            print(f"  {group.benchmark}/{group.config}: {mc.describe()}",
+                  file=sys.stderr)
+        return 1
+    print(f"\nno significant regressions beyond {threshold:g}%")
+    return 0
+
+
+def _cmd_perf_report(args) -> int:
+    perf_dir = _perf_ledger_dir(args.dir)
+    try:
+        records = load_records(perf_dir)
+    except AnalysisError as exc:
+        print(f"perf report: {exc}", file=sys.stderr)
+        return 2
+    if args.label is not None:
+        records = [r for r in records if r.label == args.label]
+        if not records:
+            print(f"perf report: no records labelled {args.label!r} in "
+                  f"{perf_dir}", file=sys.stderr)
+            return 2
+
+    groups = {}
+    for r in records:
+        groups.setdefault((r.benchmark, r.config), []).append(r)
+
+    print("# Performance trajectory")
+    print()
+    print(f"_{len(records)} record(s) from `{perf_dir}`_")
+    for (bench, config), rs in sorted(groups.items()):
+        print()
+        print(f"## {bench} / {config}")
+        print()
+        print("| recorded (UTC) | code | label | cycles | ipc | "
+              "wall (s) | instr/s | speedup |")
+        print("|---|---|---|--:|--:|--:|--:|--:|")
+        for r in rs:
+            when = time.strftime("%Y-%m-%d %H:%M", time.gmtime(r.ts))
+            code = (r.provenance.get("code_token") or
+                    r.provenance.get("git_sha") or "")[:8]
+            speedup = r.sim.get("speedup_pct")
+            print("| {} | {} | {} | {:.0f} | {:.3f} | {:.3f} | {:,.0f} | {} |"
+                  .format(
+                      when, code or "-", r.label or "-",
+                      r.sim.get("total_cycles", 0.0),
+                      r.sim.get("ipc", 0.0),
+                      r.host.get("wall_s", 0.0),
+                      r.host.get("events_per_sec", 0.0),
+                      f"{speedup:+.1f}%" if speedup is not None else "-",
+                  ))
+        latest = rs[-1]
+        if latest.profile:
+            print()
+            print("Latest host profile (sections nest; % of total wall):")
+            print()
+            by_pct = sorted(latest.profile.items(),
+                            key=lambda kv: -kv[1].get("pct", 0.0))
+            for name, entry in by_pct:
+                pct = entry.get("pct")
+                pct_s = f"{pct:5.1f}%" if pct is not None else "     -"
+                print(f"- `{name}`: {pct_s}  "
+                      f"({entry['s']:.3f}s / {entry['calls']} calls)")
+
+    if args.json:
+        path = write_export(records, args.json)
+        print()
+        print(f"export : {path} ({len(records)} records)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -296,9 +571,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_suite(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "perf":
+            if args.perf_command == "record":
+                return _cmd_perf_record(args)
+            if args.perf_command == "compare":
+                return _cmd_perf_compare(args)
+            if args.perf_command == "report":
+                return _cmd_perf_report(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0
+    except ReproError as exc:
+        # A run that started but could not finish: exit 1, never a
+        # traceback (usage errors return 2 from the command handlers).
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -11,6 +11,7 @@ for the thread-pipelining scheduler to compose.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, Optional, Union
 
 from ..branch.frontend import BranchUnit
@@ -57,6 +58,7 @@ class ThreadUnit:
         "_wrong_fill_charge",
         "_obs_thread",
         "_obs_mem",
+        "_prof",
     )
 
     def __init__(
@@ -66,6 +68,7 @@ class ThreadUnit:
         l2: SharedL2,
         params: SimParams,
         tracer=None,
+        profiler=None,
     ) -> None:
         tu = machine_cfg.tu
         self.tu_id = tu_id
@@ -74,6 +77,8 @@ class ThreadUnit:
         live = tracer is not None and tracer.enabled
         self._obs_thread = tracer if live and tracer.wants(CAT_THREAD) else None
         self._obs_mem = tracer if live and tracer.wants(CAT_MEM) else None
+        #: Host wall-clock profiler (None → no section timing at all).
+        self._prof = profiler
         self.mem = TUMemSystem(
             tu_id, tu.l1d, tu.l1i, tu.sidecar, l2,
             prefetch_late_cycles=params.prefetch_late_cycles,
@@ -167,11 +172,17 @@ class ThreadUnit:
         membuf = self.membuf
         wrong_path = self.cfg.wrong_exec.wrong_path
         stats = self.stats
+        prof = self._prof
 
         # -- instruction fetch ------------------------------------------
+        # Host-profiling timers are per-iteration (one pair per section,
+        # amortized over hundreds of replayed events), never per-event.
+        t0 = perf_counter() if prof is not None else 0.0
         ifetch_stall = 0
         for addr in tracegen.ifetch_blocks(region, trace.n_instr).tolist():
             ifetch_stall += mem.ifetch(addr) - 1
+        if prof is not None:
+            prof.add("tu.ifetch", perf_counter() - t0)
 
         if upstream_targets is not None:
             membuf.receive_targets(list(upstream_targets))
@@ -191,6 +202,8 @@ class ThreadUnit:
         branch_taken = trace.branch_taken
         load_correct = mem.load_correct
         load_wrong = mem.load_wrong
+        if prof is not None:
+            t0 = perf_counter()
         for kind, value, idx in zip(kinds.tolist(), values.tolist(), indices.tolist()):
             if kind == EV_LOAD:
                 if not sequential:
@@ -223,6 +236,9 @@ class ThreadUnit:
                 else:
                     membuf.buffer_store(value, kind == EV_TSTORE)
 
+        if prof is not None:
+            prof.add("tu.replay", perf_counter() - t0)
+
         # Port/MSHR contention from wrong-execution fills into the L1,
         # proportional to the fill latencies they occupy resources for
         # (zero when a WEC services them on its parallel datapath).
@@ -231,8 +247,12 @@ class ThreadUnit:
 
         # -- write-back stage: commit buffered stores in order -----------
         if not sequential:
+            if prof is not None:
+                t0 = perf_counter()
             for addr, _is_target in membuf.writeback():
                 store_stall += mem.store_correct(addr) - 1
+            if prof is not None:
+                prof.add("tu.writeback", perf_counter() - t0)
 
         stats.counter("iterations" if not sequential else "chunks").add()
         stats.counter("instructions").add(trace.n_instr)
@@ -273,6 +293,8 @@ class ThreadUnit:
         load_wrong = self.mem.load_wrong
         obs_t = self._obs_thread
         obs_m = self._obs_mem
+        prof = self._prof
+        t0 = perf_counter() if prof is not None else 0.0
         if obs_t is not None:
             obs_t.emit(THREAD_ABORT, self.tu_id, start_iter)
         n = 0
@@ -291,6 +313,8 @@ class ThreadUnit:
         self.stats.counter("wrong_threads").add()
         if obs_t is not None:
             obs_t.emit(THREAD_KILL, self.tu_id, n)
+        if prof is not None:
+            prof.add("tu.wrong_thread", perf_counter() - t0)
         return n
 
     def fork_cost(self, n_forward_values: int) -> float:

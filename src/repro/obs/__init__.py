@@ -26,10 +26,27 @@ Or from the command line::
 
     python -m repro trace 181.mcf wth-wp-wec --out trace.json
 
+The **performance observatory** rides on the same layer: a persistent
+run ledger (:mod:`repro.obs.ledger` — append-only JSONL under
+``$REPRO_PERF_DIR``), a benchstat-style A/B comparison engine
+(:mod:`repro.obs.compare` — bootstrap CIs, Mann-Whitney significance,
+suite rollups) and host-side self-profiling
+(:mod:`repro.obs.hostprof` — which simulator component the wall-clock
+went to).  CLI surface: ``repro perf record | compare | report``.
+
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, sampling
-semantics, and the Perfetto how-to.
+semantics, the Perfetto how-to, and the performance-observatory guide.
 """
 
+from .compare import (
+    ComparisonReport,
+    MetricComparison,
+    MetricDef,
+    METRICS,
+    compare_records,
+    compare_samples,
+    parse_threshold,
+)
 from .events import (
     CAT_BRANCH,
     CAT_MEM,
@@ -44,6 +61,15 @@ from .events import (
     event_to_dict,
 )
 from .export import chrome_trace, write_chrome_trace, write_jsonl
+from .hostprof import HostProfiler, peak_rss_kb
+from .ledger import (
+    Ledger,
+    PerfRecord,
+    default_perf_dir,
+    load_records,
+    validate_export,
+    write_export,
+)
 from .tracer import IntervalMetrics, NullTracer, RingBufferTracer, Tracer
 
 __all__ = [
@@ -65,4 +91,19 @@ __all__ = [
     "NullTracer",
     "RingBufferTracer",
     "Tracer",
+    "ComparisonReport",
+    "HostProfiler",
+    "Ledger",
+    "MetricComparison",
+    "MetricDef",
+    "METRICS",
+    "PerfRecord",
+    "compare_records",
+    "compare_samples",
+    "default_perf_dir",
+    "load_records",
+    "parse_threshold",
+    "peak_rss_kb",
+    "validate_export",
+    "write_export",
 ]

@@ -1,0 +1,493 @@
+"""Benchstat-style A/B comparison over ledger records.
+
+Given two sets of :class:`~repro.obs.ledger.PerfRecord` (a *ref* side
+and a *new* side), the engine groups records by workload identity
+(benchmark, config, seed, scale) and compares every metric present on
+both sides:
+
+* **delta** — percent change of the new mean vs the ref mean, oriented
+  by the metric's polarity (IPC and events/sec are better *higher*;
+  cycles, miss rates and wall seconds are better *lower*);
+* **bootstrap confidence interval** — a percentile CI of the delta from
+  deterministic resampling (fixed RNG seed, so two invocations agree);
+* **significance** — a two-sided Mann-Whitney U rank test (normal
+  approximation with tie correction, no SciPy needed).  *Deterministic*
+  sim metrics (cycles, IPC, miss counts — identical for a fixed
+  seed/scale/code) are exact measurements, so any non-zero delta on
+  them is significant by definition; *stochastic* host metrics (wall
+  seconds, events/sec, RSS) need at least two samples per side — at
+  ``n=1`` the comparison degrades gracefully: the delta is still
+  reported but flagged ``insignificant-by-construction``.
+
+A **regression** is a significant delta in the *worse* direction whose
+magnitude exceeds the caller's threshold; ``repro perf compare`` exits
+1 when any metric regresses.  Suite-level rollups reuse
+:mod:`repro.common.stats`: the geometric mean of per-benchmark ratios
+per metric, plus the paper's equal-weight (harmonic-mean) speedup over
+``total_cycles`` (Lilja 2000).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.errors import AnalysisError
+from ..common.stats import geometric_mean, weighted_mean_speedup
+from .ledger import PerfRecord
+
+__all__ = [
+    "ALPHA",
+    "METRICS",
+    "MetricDef",
+    "MetricComparison",
+    "GroupComparison",
+    "ComparisonReport",
+    "bootstrap_delta_ci",
+    "compare_records",
+    "compare_samples",
+    "mann_whitney_u",
+    "parse_threshold",
+]
+
+#: Two-sided significance level for the Mann-Whitney U test.
+ALPHA = 0.05
+
+#: Note attached when a side has too few samples for a rank test.
+NOTE_N1 = "insignificant-by-construction"
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """How one ledger metric is read and compared."""
+
+    name: str
+    source: str  # "sim" | "host"
+    higher_is_better: bool
+    #: Deterministic metrics repeat exactly for a fixed seed/scale/code;
+    #: any delta on them is real.  Stochastic ones need repeated samples.
+    deterministic: bool
+    unit: str = ""
+
+
+#: Every metric the engine knows, in display order.
+METRICS: Tuple[MetricDef, ...] = (
+    MetricDef("total_cycles", "sim", higher_is_better=False, deterministic=True),
+    MetricDef("ipc", "sim", higher_is_better=True, deterministic=True),
+    MetricDef("l1_miss_rate", "sim", higher_is_better=False, deterministic=True),
+    MetricDef("wec_hit_rate", "sim", higher_is_better=True, deterministic=True),
+    MetricDef("effective_misses", "sim", higher_is_better=False,
+              deterministic=True),
+    MetricDef("speedup_pct", "sim", higher_is_better=True, deterministic=True,
+              unit="%"),
+    MetricDef("wall_s", "host", higher_is_better=False, deterministic=False,
+              unit="s"),
+    MetricDef("events_per_sec", "host", higher_is_better=True,
+              deterministic=False, unit="/s"),
+    MetricDef("peak_rss_kb", "host", higher_is_better=False,
+              deterministic=False, unit="KiB"),
+)
+
+METRICS_BY_NAME: Dict[str, MetricDef] = {m.name: m for m in METRICS}
+
+
+def parse_threshold(text: str) -> float:
+    """Parse a regression threshold into percent.
+
+    Accepts ``"10%"``, ``"10"`` (percent) or ``"0.1"`` (a fraction when
+    ≤ 1 and no percent sign).  Returns the threshold as a percentage.
+    """
+    s = text.strip()
+    try:
+        if s.endswith("%"):
+            value = float(s[:-1])
+        else:
+            value = float(s)
+            if value <= 1.0:
+                value *= 100.0
+    except ValueError:
+        raise AnalysisError(f"unparseable threshold: {text!r}") from None
+    if value < 0:
+        raise AnalysisError(f"threshold must be non-negative: {text!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Statistics primitives
+# ---------------------------------------------------------------------------
+
+
+def _rank(values: Sequence[float]) -> List[float]:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        mean_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def mann_whitney_u(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided Mann-Whitney U via normal approximation.
+
+    Returns ``(U, p)`` where ``U`` is the smaller of the two U
+    statistics.  Uses average ranks with the tie-corrected variance and
+    a 0.5 continuity correction; with all values tied (zero variance)
+    the test is powerless and ``p = 1`` is returned.
+    """
+    n1, n2 = len(a), len(b)
+    if n1 < 1 or n2 < 1:
+        return (float("nan"), 1.0)
+    combined = list(a) + list(b)
+    ranks = _rank(combined)
+    r1 = sum(ranks[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+    u = min(u1, u2)
+    n = n1 + n2
+    # Tie correction over the groups of equal values.
+    tie_term = 0.0
+    seen: Dict[float, int] = {}
+    for v in combined:
+        seen[v] = seen.get(v, 0) + 1
+    for t in seen.values():
+        tie_term += t ** 3 - t
+    if n > 1:
+        var = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    else:
+        var = 0.0
+    if var <= 0:
+        return (u, 1.0)
+    z = (u - n1 * n2 / 2.0 + 0.5) / math.sqrt(var)
+    p = math.erfc(abs(z) / math.sqrt(2.0))
+    return (u, min(1.0, p))
+
+
+def bootstrap_delta_ci(
+    ref: Sequence[float],
+    new: Sequence[float],
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI of the percent delta of means.
+
+    Deterministic (fixed ``seed``) so repeated comparisons agree.  With
+    a single sample on both sides the interval collapses to the point
+    delta.
+    """
+    if not ref or not new:
+        raise AnalysisError("bootstrap over empty sample set")
+    if len(ref) == 1 and len(new) == 1:
+        d = _delta_pct(ref[0], new[0])
+        return (d, d)
+    rng = random.Random(seed)
+    deltas: List[float] = []
+    for _ in range(n_resamples):
+        r = [ref[rng.randrange(len(ref))] for _ in ref]
+        n = [new[rng.randrange(len(new))] for _ in new]
+        deltas.append(_delta_pct(_mean(r), _mean(n)))
+    deltas.sort()
+    lo_q = (1.0 - confidence) / 2.0
+    lo = deltas[max(0, int(lo_q * n_resamples))]
+    hi = deltas[min(n_resamples - 1, int((1.0 - lo_q) * n_resamples))]
+    return (lo, hi)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _delta_pct(ref_mean: float, new_mean: float) -> float:
+    if ref_mean == 0:
+        return 0.0 if new_mean == 0 else math.copysign(float("inf"), new_mean)
+    return (new_mean - ref_mean) / abs(ref_mean) * 100.0
+
+
+# ---------------------------------------------------------------------------
+# Per-metric / per-group comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MetricComparison:
+    """A vs B on one metric inside one (benchmark, config) group."""
+
+    metric: MetricDef
+    n_ref: int
+    n_new: int
+    ref_mean: float
+    new_mean: float
+    delta_pct: float  # signed percent change of the raw value
+    ci: Tuple[float, float]  # bootstrap CI of delta_pct
+    p: float
+    significant: bool
+    note: str = ""
+
+    @property
+    def worsened(self) -> bool:
+        """Whether the delta points in the metric's bad direction."""
+        if self.delta_pct == 0.0:
+            return False
+        return (self.delta_pct < 0) == self.metric.higher_is_better
+
+    def is_regression(self, threshold_pct: float) -> bool:
+        """Significant move in the bad direction beyond the threshold."""
+        return (
+            self.worsened
+            and self.significant
+            and abs(self.delta_pct) > threshold_pct
+        )
+
+    def describe(self) -> str:
+        direction = "~" if self.delta_pct == 0 else (
+            "worse" if self.worsened else "better"
+        )
+        sig = "significant" if self.significant else (self.note or "n.s.")
+        return (
+            f"{self.metric.name}: {self.ref_mean:.6g} -> {self.new_mean:.6g} "
+            f"({self.delta_pct:+.2f}%, {direction}, {sig})"
+        )
+
+
+def compare_samples(
+    ref: Sequence[float], new: Sequence[float], metric: MetricDef
+) -> MetricComparison:
+    """Compare one metric's sample sets (see module docs for semantics)."""
+    if not ref or not new:
+        raise AnalysisError(f"{metric.name}: empty sample set")
+    ref = [float(v) for v in ref]
+    new = [float(v) for v in new]
+    ref_mean, new_mean = _mean(ref), _mean(new)
+    delta = _delta_pct(ref_mean, new_mean)
+    ci = bootstrap_delta_ci(ref, new)
+    u, p = mann_whitney_u(ref, new)
+    note = ""
+    if metric.deterministic:
+        # Exact measurement: a fixed (seed, scale, code) triple always
+        # reproduces the same value, so any change is a real change.
+        significant = ref_mean != new_mean
+        if not significant:
+            note = "identical"
+    elif min(len(ref), len(new)) < 2:
+        significant = False
+        note = f"{NOTE_N1} (n={min(len(ref), len(new))})"
+    else:
+        significant = p < ALPHA
+    return MetricComparison(
+        metric=metric,
+        n_ref=len(ref),
+        n_new=len(new),
+        ref_mean=ref_mean,
+        new_mean=new_mean,
+        delta_pct=delta,
+        ci=ci,
+        p=p,
+        significant=significant,
+        note=note,
+    )
+
+
+@dataclass
+class GroupComparison:
+    """All metric comparisons for one (benchmark, config, seed, scale)."""
+
+    benchmark: str
+    config: str
+    seed: int
+    scale: float
+    metrics: Dict[str, MetricComparison] = field(default_factory=dict)
+    #: Metrics present on only one side ({name: "ref-only" | "new-only"}).
+    missing: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.benchmark, self.config)
+
+
+@dataclass
+class ComparisonReport:
+    """The full A/B comparison: per-group details plus suite rollups."""
+
+    groups: List[GroupComparison]
+    #: Groups present on only one side ({(bench, config): side}).
+    unmatched: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: Per-metric geometric-mean ratio (new/ref) across groups, as
+    #: percent delta; only metrics with all-positive means roll up.
+    rollup_delta_pct: Dict[str, float] = field(default_factory=dict)
+    #: Equal-weight (harmonic mean) suite speedup of new over ref from
+    #: ``total_cycles``, in percent (>0 = new side is faster).
+    suite_speedup_pct: Optional[float] = None
+
+    def regressions(
+        self, threshold_pct: float
+    ) -> List[Tuple[GroupComparison, MetricComparison]]:
+        out = []
+        for group in self.groups:
+            for mc in group.metrics.values():
+                if mc.is_regression(threshold_pct):
+                    out.append((group, mc))
+        return out
+
+    def render(self, threshold_pct: Optional[float] = None) -> str:
+        """Human-readable benchstat-style text table."""
+        lines: List[str] = []
+        header = (
+            f"{'benchmark/config':<28s} {'metric':<16s} {'ref':>12s} "
+            f"{'new':>12s} {'delta':>9s} {'ci(95%)':>18s} {'p':>7s}  note"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for group in self.groups:
+            name = f"{group.benchmark}/{group.config}"
+            for metric in METRICS:
+                mc = group.metrics.get(metric.name)
+                if mc is None:
+                    continue
+                flag = ""
+                if threshold_pct is not None and mc.is_regression(threshold_pct):
+                    flag = "REGRESSION"
+                elif mc.note:
+                    flag = mc.note
+                elif mc.significant and mc.worsened:
+                    flag = "worse"
+                elif mc.significant:
+                    flag = "better"
+                ci = f"[{mc.ci[0]:+.1f},{mc.ci[1]:+.1f}]"
+                lines.append(
+                    f"{name:<28s} {metric.name:<16s} {mc.ref_mean:>12.5g} "
+                    f"{mc.new_mean:>12.5g} {mc.delta_pct:>+8.2f}% "
+                    f"{ci:>18s} {mc.p:>7.3f}  {flag}"
+                )
+            for mname, side in sorted(group.missing.items()):
+                lines.append(f"{name:<28s} {mname:<16s} ({side})")
+        for key, side in sorted(self.unmatched.items()):
+            lines.append(f"{key[0]}/{key[1]}: only on {side} side, skipped")
+        if self.rollup_delta_pct:
+            lines.append("")
+            lines.append("rollups (geomean across groups):")
+            for mname, delta in self.rollup_delta_pct.items():
+                lines.append(f"  {mname:<16s} {delta:+.2f}%")
+        if self.suite_speedup_pct is not None:
+            lines.append(
+                f"  equal-weight suite speedup (new vs ref): "
+                f"{self.suite_speedup_pct:+.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def _index(
+    records: Sequence[PerfRecord],
+) -> Dict[Tuple[str, str, int, float], List[PerfRecord]]:
+    out: Dict[Tuple[str, str, int, float], List[PerfRecord]] = {}
+    for r in records:
+        out.setdefault(r.group_key, []).append(r)
+    return out
+
+
+def compare_records(
+    ref: Sequence[PerfRecord],
+    new: Sequence[PerfRecord],
+    metrics: Optional[Sequence[str]] = None,
+) -> ComparisonReport:
+    """Compare two record sets group by group.
+
+    ``metrics`` restricts the comparison to the named metrics (default:
+    every known metric present on both sides).  Groups or metrics
+    present on only one side are reported as skipped, never raised —
+    except when *no* group overlaps at all, which is an
+    :class:`~repro.common.errors.AnalysisError` (the comparison would
+    be vacuous).
+    """
+    if metrics is not None:
+        unknown = [m for m in metrics if m not in METRICS_BY_NAME]
+        if unknown:
+            raise AnalysisError(
+                f"unknown metric(s): {', '.join(unknown)} "
+                f"(known: {', '.join(m.name for m in METRICS)})"
+            )
+    wanted = [
+        m for m in METRICS if metrics is None or m.name in set(metrics)
+    ]
+    ref_idx = _index(ref)
+    new_idx = _index(new)
+    groups: List[GroupComparison] = []
+    unmatched: Dict[Tuple[str, str], str] = {}
+    for key in sorted(set(ref_idx) | set(new_idx)):
+        bench, config, seed, scale = key
+        if key not in ref_idx:
+            unmatched[(bench, config)] = "new"
+            continue
+        if key not in new_idx:
+            unmatched[(bench, config)] = "ref"
+            continue
+        group = GroupComparison(bench, config, seed, scale)
+        for metric in wanted:
+            ref_vals = [
+                v for v in (r.metric(metric.source, metric.name)
+                            for r in ref_idx[key])
+                if v is not None
+            ]
+            new_vals = [
+                v for v in (r.metric(metric.source, metric.name)
+                            for r in new_idx[key])
+                if v is not None
+            ]
+            if not ref_vals and not new_vals:
+                continue
+            if not ref_vals or not new_vals:
+                group.missing[metric.name] = (
+                    "new-only" if not ref_vals else "ref-only"
+                )
+                continue
+            group.metrics[metric.name] = compare_samples(
+                ref_vals, new_vals, metric
+            )
+        groups.append(group)
+    if not groups:
+        raise AnalysisError(
+            "no overlapping (benchmark, config, seed, scale) groups "
+            "between the two sides"
+        )
+
+    report = ComparisonReport(groups=groups, unmatched=unmatched)
+
+    # Rollups: geomean of new/ref ratios per metric across groups.
+    for metric in wanted:
+        ratios: List[float] = []
+        for group in groups:
+            mc = group.metrics.get(metric.name)
+            if mc is None or mc.ref_mean <= 0 or mc.new_mean <= 0:
+                continue
+            ratios.append(mc.new_mean / mc.ref_mean)
+        if ratios:
+            report.rollup_delta_pct[metric.name] = (
+                geometric_mean(ratios) - 1.0
+            ) * 100.0
+
+    # Equal-weight suite speedup over cycles (the paper's methodology):
+    # one entry per benchmark (first config encountered with cycles).
+    ref_cycles: List[float] = []
+    new_cycles: List[float] = []
+    seen_benches = set()
+    for group in groups:
+        mc = group.metrics.get("total_cycles")
+        if mc is None or group.benchmark in seen_benches:
+            continue
+        if mc.ref_mean > 0 and mc.new_mean > 0:
+            seen_benches.add(group.benchmark)
+            ref_cycles.append(mc.ref_mean)
+            new_cycles.append(mc.new_mean)
+    if ref_cycles:
+        report.suite_speedup_pct = (
+            weighted_mean_speedup(ref_cycles, new_cycles) - 1.0
+        ) * 100.0
+    return report

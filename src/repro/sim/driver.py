@@ -11,6 +11,7 @@ This is the main public entry point::
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Union
 
 from ..common.config import MachineConfig, SimParams
@@ -35,6 +36,7 @@ def run_simulation(
     config: MachineConfig,
     params: SimParams = SimParams(),
     tracer=None,
+    profiler=None,
 ) -> SimResult:
     """Simulate ``benchmark`` (name or prebuilt program) on ``config``.
 
@@ -49,12 +51,18 @@ def run_simulation(
     tracer belongs in neither.  Tracing never perturbs simulated timing
     or the RNG streams, so traced and untraced runs produce identical
     results.
+
+    ``profiler`` is an optional :class:`~repro.obs.hostprof.HostProfiler`
+    collecting *host* wall-clock attribution (which simulator component
+    the real time went to).  Like the tracer it never touches simulated
+    state, so profiled runs are bit-identical to unprofiled ones.
     """
     if isinstance(benchmark, str):
         program = build_benchmark(benchmark, scale=params.scale)
     else:
         program = benchmark
-    return run_program(program, config, params, tracer=tracer)
+    return run_program(program, config, params, tracer=tracer,
+                       profiler=profiler)
 
 
 def run_program(
@@ -62,9 +70,17 @@ def run_program(
     config: MachineConfig,
     params: SimParams = SimParams(),
     tracer=None,
+    profiler=None,
 ) -> SimResult:
     """Simulate a prebuilt :class:`Program` on ``config``."""
-    machine = Machine(config, params, tracer=tracer)
+    machine_tracer = tracer
+    if profiler is not None and tracer is not None:
+        # Route the machine's emits through a timing proxy so tracing
+        # cost is attributed to "tracer.emit" instead of the component
+        # sections; the caller keeps its direct tracer reference.
+        machine_tracer = profiler.wrap_tracer(tracer)
+    machine = Machine(config, params, tracer=machine_tracer,
+                      profiler=profiler)
     tracegen = TraceGenerator(StreamFactory(params.seed))
     scheduler = Scheduler(machine, tracegen)
 
@@ -77,18 +93,25 @@ def run_program(
     warmup = min(params.warmup_invocations, program.n_invocations - 1)
     stats_live = warmup == 0
 
+    perf_clock = time.perf_counter if profiler is not None else None
+
     for invocation, region in program.schedule():
         if not stats_live and invocation >= warmup:
             # Warm-up complete: measure from warmed state.
             machine.reset_statistics()
             stats_live = True
+        t0 = perf_clock() if perf_clock is not None else 0.0
         if isinstance(region, ParallelRegionSpec):
             rr = scheduler.run_parallel_region(region, invocation)
+            if perf_clock is not None:
+                profiler.add("scheduler.parallel", perf_clock() - t0)
             if stats_live:
                 par_cycles += rr.cycles
                 wrong_thread_loads += rr.wrong_thread_loads
         else:
             rr = scheduler.run_sequential_region(region, invocation)
+            if perf_clock is not None:
+                profiler.add("scheduler.sequential", perf_clock() - t0)
             if stats_live:
                 seq_cycles += rr.cycles
         if not stats_live:

@@ -59,6 +59,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..common.config import MachineConfig, SimParams
 from ..common.errors import SweepError
+from ..obs.hostprof import HostProfiler, peak_rss_kb
+from ..obs.ledger import Ledger, PerfRecord, default_perf_dir
 from ..workloads.benchmarks import build_benchmark
 from ..workloads.program import Program
 from .driver import run_program
@@ -317,6 +319,9 @@ class CellRecord:
     key: str
     source: str  # "cache" | "run"
     wall_s: float
+    #: Host metrics collected when perf recording is on (``wall_s``,
+    #: ``peak_rss_kb``, a ``profile`` section breakdown); None otherwise.
+    host: Optional[Dict] = None
 
 
 @dataclass
@@ -413,18 +418,33 @@ def _build_program(benchmark: str, scale: float) -> Program:
 
 
 def _execute_cell(
-    benchmark: str, config: MachineConfig, params: SimParams
+    benchmark: str, config: MachineConfig, params: SimParams,
+    profile: bool = False,
 ) -> Tuple[str, object, object]:
     """Run one cell in the current process.
 
-    Returns ``("ok", result_dict, wall_s)`` or ``("err", message, tb)``;
-    exceptions never propagate so that one bad cell cannot take down a
-    worker (or, in the serial path, the rest of the grid).
+    Returns ``("ok", result_dict, host_dict)`` or ``("err", message,
+    tb)``; exceptions never propagate so that one bad cell cannot take
+    down a worker (or, in the serial path, the rest of the grid).
+    ``host_dict`` always carries ``wall_s``; with ``profile`` it adds
+    the :class:`~repro.obs.hostprof.HostProfiler` section breakdown and
+    the process's peak RSS.
     """
+    profiler = HostProfiler() if profile else None
     t0 = time.perf_counter()
     try:
-        result = run_program(_build_program(benchmark, params.scale), config, params)
-        return ("ok", result.to_dict(), time.perf_counter() - t0)
+        result = run_program(
+            _build_program(benchmark, params.scale), config, params,
+            profiler=profiler,
+        )
+        wall_s = time.perf_counter() - t0
+        host: Dict[str, object] = {"wall_s": wall_s}
+        if profiler is not None:
+            host["profile"] = profiler.snapshot(wall_s)
+            rss = peak_rss_kb()
+            if rss is not None:
+                host["peak_rss_kb"] = rss
+        return ("ok", result.to_dict(), host)
     except Exception as exc:  # noqa: BLE001 — reported per cell by key
         return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
 
@@ -448,6 +468,9 @@ def run_cells(
     progress: Optional[Callable[[str, str], None]] = None,
     manifest_path: Union[str, Path, None] = None,
     strict: bool = True,
+    perf: Optional[bool] = None,
+    perf_dir: Union[str, Path, None] = None,
+    perf_context: str = "executor",
 ) -> SweepOutcome:
     """Execute a sweep: resolve every cell from cache or simulation.
 
@@ -476,10 +499,28 @@ def run_cells(
         has been attempted; the error names each failing cell's grid key
         and carries the partial :class:`SweepOutcome`.  ``False`` returns
         the outcome with ``stats.failures`` populated instead.
+    perf:
+        ``True``/``False`` force performance recording on/off; ``None``
+        (the default) enables it when ``$REPRO_PERF_DIR`` is set.  When
+        on, every *executed* cell (never a cache hit — its wall time
+        would measure a disk read) runs with a
+        :class:`~repro.obs.hostprof.HostProfiler` attached and appends a
+        :class:`~repro.obs.ledger.PerfRecord` to the ledger, including
+        the speedup vs an ``orig``-labelled cell of the same benchmark
+        when one is part of this sweep.
+    perf_dir:
+        Ledger directory override (default ``$REPRO_PERF_DIR``, or
+        ``.perf`` when ``perf=True`` without a directory).
+    perf_context:
+        The ``context`` string stamped on recorded ledger entries.
     """
     cells = list(cells)
     t_start = time.perf_counter()
     dcache = DiskCache(cache_dir) if _cache_enabled(cache) else None
+
+    perf_root = Path(perf_dir) if perf_dir is not None else default_perf_dir()
+    perf_on = perf if perf is not None else perf_root is not None
+    ledger = Ledger(perf_root) if perf_on else None
 
     stats = SweepStats(
         jobs_requested=jobs,
@@ -494,9 +535,11 @@ def run_cells(
         status, first, second = payload
         if status == "ok":
             result = SimResult.from_dict(first)  # type: ignore[arg-type]
+            host: Dict = dict(second)  # type: ignore[arg-type]
             results[cell.grid_key] = result
             records[cell.grid_key] = CellRecord(
-                cell.benchmark, cell.label, key, "run", float(second)  # type: ignore[arg-type]
+                cell.benchmark, cell.label, key, "run",
+                float(host["wall_s"]), host=host,
             )
             stats.executed += 1
             if dcache is not None:
@@ -531,7 +574,8 @@ def run_cells(
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=stats.jobs_used, mp_context=ctx) as pool:
             futures = {
-                pool.submit(_execute_cell, cell.benchmark, cell.config, cell.params):
+                pool.submit(_execute_cell, cell.benchmark, cell.config,
+                            cell.params, perf_on):
                 (cell, key)
                 for cell, key in to_run
             }
@@ -550,7 +594,9 @@ def run_cells(
         for cell, key in to_run:
             if progress is not None:
                 progress(cell.benchmark, cell.label)
-            ingest(cell, key, _execute_cell(cell.benchmark, cell.config, cell.params))
+            ingest(cell, key,
+                   _execute_cell(cell.benchmark, cell.config, cell.params,
+                                 perf_on))
 
     # Deterministic output order: the caller's cell order, not completion
     # order (labels_of/benchmarks_of rely on grid insertion order).
@@ -561,6 +607,9 @@ def run_cells(
     }
     stats.records = [records[c.grid_key] for c in cells if c.grid_key in records]
     stats.wall_s = time.perf_counter() - t_start
+
+    if ledger is not None:
+        _record_perf(ledger, cells, ordered, records, stats, perf_context)
 
     if manifest_path is not None:
         stats.write_manifest(manifest_path)
@@ -574,6 +623,50 @@ def run_cells(
             outcome=outcome,
         )
     return outcome
+
+
+def _record_perf(
+    ledger: Ledger,
+    cells: List[SweepCell],
+    results: Dict[Tuple[str, str], SimResult],
+    records: Dict[Tuple[str, str], CellRecord],
+    stats: SweepStats,
+    context: str,
+) -> None:
+    """Append a ledger record for every cell this sweep *executed*.
+
+    Cache hits are skipped: their wall time measures a disk read, not
+    the simulator.  ``speedup_pct`` is filled in when an ``orig``-labelled
+    cell of the same benchmark ran (or was cached) in the same sweep.
+    """
+    token = code_version_token()
+    for cell in cells:
+        record = records.get(cell.grid_key)
+        if record is None or record.source != "run" or record.host is None:
+            continue
+        result = results[cell.grid_key]
+        baseline = results.get((cell.benchmark, "orig"))
+        speedup_pct = None
+        if baseline is not None and cell.label != "orig":
+            try:
+                speedup_pct = result.relative_speedup_pct_vs(baseline)
+            except Exception:  # noqa: BLE001 — mismatched seed/scale grids
+                speedup_pct = None
+        host = record.host
+        rss = host.get("peak_rss_kb")
+        ledger.append(
+            PerfRecord.from_result(
+                result,
+                wall_s=record.wall_s,
+                speedup_pct=speedup_pct,
+                profile=host.get("profile"),
+                peak_rss_kb=int(rss) if rss is not None else None,
+                context=context,
+                config_fp=config_fingerprint(cell.config),
+                params_fp=config_fingerprint(cell.params),
+                code_token=token,
+            )
+        )
 
 
 def run_cell(

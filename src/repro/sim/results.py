@@ -117,6 +117,34 @@ class SimResult:
     def mispredict_rate(self) -> float:
         return self.mispredicts / self.branches if self.branches else 0.0
 
+    @property
+    def l1_miss_rate(self) -> float:
+        """Correct-path L1D misses per correct-path L1D access."""
+        return self.l1_misses / self.l1_traffic if self.l1_traffic else 0.0
+
+    @property
+    def wec_hit_rate(self) -> float:
+        """Fraction of L1D misses absorbed by the sidecar (WEC/VC/PB)."""
+        return self.sidecar_hits / self.l1_misses if self.l1_misses else 0.0
+
+    def sim_metrics(self) -> Dict[str, float]:
+        """The deterministic headline metrics the perf ledger records.
+
+        Keys match :data:`repro.obs.compare.METRICS` entries with
+        ``source == "sim"`` (``speedup_pct`` is added by the recorder
+        when a baseline ran alongside).
+        """
+        return {
+            "total_cycles": float(self.total_cycles),
+            "instructions": float(self.instructions),
+            "ipc": self.ipc,
+            "l1_miss_rate": self.l1_miss_rate,
+            "wec_hit_rate": self.wec_hit_rate,
+            "effective_misses": float(self.effective_misses),
+            "mispredict_rate": self.mispredict_rate,
+            "wrong_loads": float(self.wrong_loads),
+        }
+
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> Dict:

@@ -38,6 +38,7 @@ def run_grid(
     cache: Optional[bool] = None,
     cache_dir: Union[str, Path, None] = None,
     manifest_path: Union[str, Path, None] = None,
+    perf_context: str = "sweep",
 ) -> ResultGrid:
     """Run every benchmark × configuration pair.
 
@@ -48,7 +49,9 @@ def run_grid(
     ``manifest_path`` are forwarded to
     :func:`repro.sim.executor.run_cells`; a failing cell raises
     :class:`~repro.common.errors.SweepError` naming its grid key after
-    the rest of the grid has been attempted.
+    the rest of the grid has been attempted.  When ``$REPRO_PERF_DIR``
+    is set, executed cells are appended to the perf ledger under
+    ``perf_context``.
     """
     if not configs:
         raise AnalysisError("empty configuration axis")
@@ -65,6 +68,7 @@ def run_grid(
         cache_dir=cache_dir,
         progress=progress,
         manifest_path=manifest_path,
+        perf_context=perf_context,
     )
     return outcome.results
 

@@ -23,21 +23,27 @@ __all__ = ["Machine"]
 class Machine:
     """A configured superthreaded processor ready to execute programs."""
 
-    __slots__ = ("cfg", "params", "l2", "tus", "bus", "head_tu", "tracer")
+    __slots__ = (
+        "cfg", "params", "l2", "tus", "bus", "head_tu", "tracer", "profiler",
+    )
 
     def __init__(
         self,
         cfg: MachineConfig,
         params: SimParams = SimParams(),
         tracer=None,
+        profiler=None,
     ) -> None:
         self.cfg = cfg
         self.params = params
         #: Observability sink shared by every component (None → untraced).
         self.tracer = tracer
+        #: Host-side wall-clock profiler (None → unprofiled).
+        self.profiler = profiler
         self.l2 = SharedL2(cfg.mem, tracer=tracer)
         self.tus: List[ThreadUnit] = [
-            ThreadUnit(i, cfg, self.l2, params, tracer=tracer)
+            ThreadUnit(i, cfg, self.l2, params, tracer=tracer,
+                       profiler=profiler)
             for i in range(cfg.n_thread_units)
         ]
         self.bus = UpdateBus([tu.mem for tu in self.tus])

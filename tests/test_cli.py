@@ -1,10 +1,19 @@
-"""Tests for the ``python -m repro`` command-line interface."""
+"""Tests for the ``python -m repro`` command-line interface.
+
+Exit-code convention (covered below for ``trace`` and ``perf``):
+0 = success, 1 = failed run or significant perf regression,
+2 = usage error.
+"""
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.ledger import Ledger, validate_export
+from tests.test_perf_obs import make_record
 
 
 class TestParser:
@@ -80,3 +89,115 @@ class TestCommands:
         assert "average" in out
         for bench in ("175.vpr", "177.mesa"):
             assert bench in out
+
+
+class TestTraceExitCodes:
+    def test_ok_run_returns_0(self, tmp_path, capsys):
+        rc = main(["trace", "164.gzip", "wth-wp-wec", "--scale", "1e-5",
+                   "--tus", "2", "--out", str(tmp_path / "t.json")])
+        assert rc == 0
+        assert "trace" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_usage_error(self, tmp_path, capsys):
+        rc = main(["trace", "999.nope", "wth-wp-wec",
+                   "--out", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "trace:" in capsys.readouterr().err
+
+    def test_bad_event_category_is_usage_error(self, tmp_path, capsys):
+        rc = main(["trace", "164.gzip", "wth-wp-wec", "--events", "bogus",
+                   "--out", str(tmp_path / "t.json")])
+        assert rc == 2
+        assert "trace:" in capsys.readouterr().err
+
+
+RECORD_ARGS = ["perf", "record", "181.mcf", "wth-wp-wec",
+               "--scale", "2e-5", "--tus", "2"]
+
+
+class TestPerfCli:
+    def test_record_appends_and_reports_0(self, tmp_path, capsys):
+        rc = main(RECORD_ARGS + ["--dir", str(tmp_path), "--repeat", "2",
+                                 "--label", "x"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "ledger" in out
+        records = Ledger(tmp_path).records(label="x")
+        assert len(records) == 2
+        assert records[0].context == "cli.perf.record"
+        assert records[0].sim["speedup_pct"] > 0
+
+    def test_record_unknown_benchmark_is_usage_error(self, tmp_path, capsys):
+        rc = main(["perf", "record", "999.nope", "orig",
+                   "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "perf record:" in capsys.readouterr().err
+
+    def test_record_bad_repeat_is_usage_error(self, tmp_path, capsys):
+        rc = main(RECORD_ARGS + ["--dir", str(tmp_path), "--repeat", "0"])
+        assert rc == 2
+
+    def test_identical_sides_compare_clean(self, tmp_path, capsys):
+        assert main(RECORD_ARGS + ["--dir", str(tmp_path),
+                                   "--label", "a"]) == 0
+        assert main(RECORD_ARGS + ["--dir", str(tmp_path),
+                                   "--label", "b"]) == 0
+        rc = main(["perf", "compare", "a", "b", "--dir", str(tmp_path),
+                   "--threshold", "10%"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no significant regressions" in out
+        assert "identical" in out  # deterministic sim metrics match
+
+    def test_regression_returns_1(self, tmp_path, capsys):
+        ref, new = Ledger(tmp_path / "ref"), Ledger(tmp_path / "new")
+        ref.append(make_record(cycles=1000.0))
+        new.append(make_record(cycles=1200.0))  # deterministic +20%
+        rc = main(["perf", "compare", str(tmp_path / "ref"),
+                   str(tmp_path / "new"), "--threshold", "10%"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regression" in captured.err
+
+    def test_missing_side_is_usage_error(self, tmp_path, capsys):
+        rc = main(["perf", "compare", "nolabel", "nolabel",
+                   "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "perf compare:" in capsys.readouterr().err
+
+    def test_bad_threshold_is_usage_error(self, tmp_path, capsys):
+        Ledger(tmp_path).append(make_record())
+        rc = main(["perf", "compare", str(tmp_path), str(tmp_path),
+                   "--threshold", "lots"])
+        assert rc == 2
+
+    def test_unknown_metric_is_usage_error(self, tmp_path, capsys):
+        Ledger(tmp_path).append(make_record())
+        rc = main(["perf", "compare", str(tmp_path), str(tmp_path),
+                   "--metrics", "bogus"])
+        assert rc == 2
+
+    def test_report_renders_markdown_and_exports(self, tmp_path, capsys):
+        assert main(RECORD_ARGS + ["--dir", str(tmp_path)]) == 0
+        out_json = tmp_path / "export.json"
+        rc = main(["perf", "report", "--dir", str(tmp_path),
+                   "--json", str(out_json)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# Performance trajectory" in out
+        assert "181.mcf / wth-wp-wec" in out
+        assert "Latest host profile" in out
+        doc = json.loads(out_json.read_text())
+        assert validate_export(doc) == []
+
+    def test_report_empty_ledger_is_usage_error(self, tmp_path, capsys):
+        rc = main(["perf", "report", "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "perf report:" in capsys.readouterr().err
+
+    def test_report_unknown_label_is_usage_error(self, tmp_path, capsys):
+        Ledger(tmp_path).append(make_record(label="real"))
+        rc = main(["perf", "report", "--dir", str(tmp_path),
+                   "--label", "ghost"])
+        assert rc == 2

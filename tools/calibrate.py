@@ -60,7 +60,7 @@ def main() -> None:
     ap.add_argument("--manifest", metavar="PATH", default=None)
     args = ap.parse_args()
     params = SimParams(seed=2003, scale=args.scale)
-    t0 = time.time()
+    t0 = time.perf_counter()
     configs = {name: named_config(name) for name in CONFIG_NAMES}
     cells = [
         SweepCell(bench, label, cfg, params)
@@ -110,7 +110,7 @@ def main() -> None:
               f"{base.mispredict_rate*100:6.1f}%{l1mr:7.2f}%{l2mr:7.1f}%"
               f"{wec.wrong_loads:8d}{base.instructions:9d}"
               f"   [{pt:+.0f}/{pm:+.0f}]")
-    print(f"\n{time.time()-t0:.1f}s, scale={params.scale} "
+    print(f"\n{time.perf_counter()-t0:.1f}s, scale={params.scale} "
           f"[{outcome.stats.summary()}]")
 
 

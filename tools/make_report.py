@@ -31,7 +31,7 @@ def main() -> int:
     out_path = sys.argv[2] if len(sys.argv) > 2 else "reproduction_report.md"
     params = SimParams(seed=2003, scale=scale)
 
-    t0 = time.time()
+    t0 = time.perf_counter()
     configs = {name: named_config(name) for name in CONFIG_NAMES}
     configs.update({
         "wp-wec": named_config("wp-wec"),
@@ -161,7 +161,7 @@ def main() -> int:
     header = (
         f"# Reproduction report\n\n"
         f"Generated by `tools/make_report.py` — scale {scale:g}, seed "
-        f"{params.seed}, {time.time() - t0:.0f}s of simulation."
+        f"{params.seed}, {time.perf_counter() - t0:.0f}s of simulation."
     )
     text = render_report(records, header=header)
     with open(out_path, "w") as fh:
