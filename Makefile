@@ -1,6 +1,8 @@
 # Convenience targets for the WEC reproduction.
 #
 #   make test         tier-1 suite (unit/property/integration tests)
+#   make lint         static determinism/invariant analysis over src/
+#                     (rule catalog: docs/STATIC_ANALYSIS.md)
 #   make bench-smoke  one figure bench at tiny scale through the
 #                     parallel executor path (jobs=2) — fast CI probe;
 #                     records to the perf ledger and leaves
@@ -13,10 +15,13 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke perf-gate calibrate
+.PHONY: test lint bench bench-smoke perf-gate calibrate
 
 test:
 	$(PY) -m pytest -x -q
+
+lint:
+	$(PY) -m repro lint src --baseline lint-baseline.json
 
 bench-smoke:
 	rm -rf .perf-smoke

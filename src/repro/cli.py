@@ -19,6 +19,9 @@ Commands
     The performance observatory: append profiled runs to the persistent
     ledger (``$REPRO_PERF_DIR``, default ``.perf``), compare two record
     sets benchstat-style, and render the recorded trajectory.
+``lint``
+    Static determinism/invariant analysis over Python sources (rule
+    catalog in ``docs/STATIC_ANALYSIS.md``); exit 1 on findings.
 
 Examples
 --------
@@ -32,33 +35,48 @@ Examples
     python -m repro perf record 181.mcf wth-wp-wec --repeat 4 --label before
     python -m repro perf compare before after --threshold 10%
     python -m repro perf report --json BENCH_smoke.json
+    python -m repro lint src --baseline lint-baseline.json
 
 Sweeps resolve through the persistent result cache (``$REPRO_CACHE_DIR``,
 default ``~/.cache/repro``; bypass with ``--no-cache``) and fan cache
 misses out over ``--jobs`` worker processes; ``--manifest PATH`` writes a
 JSON run manifest with per-cell timing and cache hit/miss counts.
 
-Exit codes follow one convention: 0 = success, 1 = a failed run or (for
-``perf compare``) a significant regression beyond the threshold, 2 = a
-usage error (unknown name, unparseable flag, missing input).
+Simulation commands accept ``--sanitize`` (equivalent to setting
+``REPRO_SANITIZE=1``): runs execute under the runtime invariant checker
+of :mod:`repro.lint.sanitize`, which raises a structured
+``SanitizerError`` on any architectural-invariant violation while
+leaving results bit-identical.  Combine with ``--no-cache`` for sweep
+commands — cache hits skip simulation and therefore skip the checks.
+
+Exit codes follow one convention (shared by ``trace``/``perf``/``lint``
+via one helper): 0 = success, 1 = a failed run, a significant perf
+regression, or lint findings, 2 = a usage error (unknown name,
+unparseable flag, missing or malformed input).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .analysis.speedup import suite_average_speedup_pct
 from .common.config import SimParams
 from .common.errors import (
     AnalysisError,
     ConfigError,
+    LintError,
     ReproError,
     WorkloadError,
 )
+from .lint.engine import lint_paths, write_baseline
+from .lint.rules import RULES
+from .lint.sanitize import ENV_VAR as SANITIZE_ENV_VAR
 from .obs.compare import compare_records, parse_threshold
 from .obs.events import CATEGORIES
 from .obs.export import write_chrome_trace, write_jsonl
@@ -113,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--manifest", metavar="PATH", default=None,
                         help="write a JSON run manifest (per-cell timing, "
                              "cache hits/misses) to PATH")
+        add_sanitize(sp)
+
+    def add_sanitize(sp):
+        sp.add_argument("--sanitize", action="store_true",
+                        help="run under the runtime invariant checker "
+                             "(same as REPRO_SANITIZE=1; see "
+                             "docs/STATIC_ANALYSIS.md)")
 
     run_p = sub.add_parser("run", help="simulate one benchmark/config pair")
     run_p.add_argument("--benchmark", required=True)
@@ -159,6 +184,32 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--seed", type=int, default=2003)
     trace_p.add_argument("--tus", type=int, default=8,
                          help="number of thread units (default 8)")
+    add_sanitize(trace_p)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="static determinism/invariant analysis (AST-based); "
+             "exit 1 on findings, 2 on usage errors",
+    )
+    lint_p.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    lint_p.add_argument("--rule", action="append", default=None,
+                        metavar="ID",
+                        help="restrict to these rule ids (repeatable or "
+                             "comma-separated); default: all rules")
+    lint_p.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline JSON ratchet file; matching findings "
+                             "are suppressed (every entry needs a reason), "
+                             "stale entries are reported")
+    lint_p.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (default text)")
+    lint_p.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write current findings to FILE as a new "
+                             "baseline (reasons stamped as TODO; the "
+                             "loader rejects them until justified) and "
+                             "exit 0")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
 
     perf_p = sub.add_parser(
         "perf",
@@ -195,6 +246,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec_p.add_argument("--no-baseline", action="store_true",
                        help="skip the orig baseline run (records no "
                             "speedup_pct)")
+    add_sanitize(rec_p)
 
     cmpp = perf_sub.add_parser(
         "compare",
@@ -342,34 +394,42 @@ def _cmd_suite(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
+#: One exit-code convention for ``trace``/``perf``/``lint`` (satellite of
+#: the lint PR: previously three ad-hoc try/except blocks).  Errors that
+#: mean the *invocation* was unusable — bad names, unparseable knobs,
+#: malformed baseline/export files — exit 2; an accepted invocation that
+#: fails while running exits 1.
+_USAGE_ERRORS = (ConfigError, WorkloadError, AnalysisError, LintError)
+
+
+def _checked(label: str, body: Callable[[], int]) -> int:
+    """Run a command body under the shared 0/1/2 exit convention."""
     try:
-        categories = None
-        if args.events:
-            categories = [c.strip() for c in args.events.split(",") if c.strip()]
-        metrics = IntervalMetrics(window=args.window) if args.window > 0 else None
-        tracer = RingBufferTracer(
-            capacity=args.capacity,
-            categories=categories,
-            sample=args.sample,
-            metrics=metrics,
-        )
-    except ConfigError as exc:
-        print(f"trace: {exc}", file=sys.stderr)
-        return 2
-    params = SimParams(seed=args.seed, scale=args.scale)
-    cfg = named_config(args.config, n_tus=args.tus)
-    try:
-        # Traced runs bypass the result cache: the cached artifact is the
-        # SimResult, not the event stream, and tracing does not change it.
-        result = run_simulation(args.benchmark, cfg, params, tracer=tracer)
-    except (ConfigError, WorkloadError) as exc:
-        # A name or knob the simulator rejects is a usage error.
-        print(f"trace: {exc}", file=sys.stderr)
+        return body()
+    except _USAGE_ERRORS as exc:
+        print(f"{label}: {exc}", file=sys.stderr)
         return 2
     except ReproError as exc:
-        print(f"trace: {exc}", file=sys.stderr)
+        print(f"{label}: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_trace(args) -> int:
+    categories = None
+    if args.events:
+        categories = [c.strip() for c in args.events.split(",") if c.strip()]
+    metrics = IntervalMetrics(window=args.window) if args.window > 0 else None
+    tracer = RingBufferTracer(
+        capacity=args.capacity,
+        categories=categories,
+        sample=args.sample,
+        metrics=metrics,
+    )
+    params = SimParams(seed=args.seed, scale=args.scale)
+    cfg = named_config(args.config, n_tus=args.tus)
+    # Traced runs bypass the result cache: the cached artifact is the
+    # SimResult, not the event stream, and tracing does not change it.
+    result = run_simulation(args.benchmark, cfg, params, tracer=tracer)
     events = tracer.events()
     out = write_chrome_trace(
         events,
@@ -402,11 +462,7 @@ def _cmd_perf_record(args) -> int:
         return 2
     params = SimParams(seed=args.seed, scale=args.scale)
     cfg = named_config(args.config, n_tus=args.tus)
-    try:
-        program = build_benchmark(args.benchmark, scale=args.scale)
-    except (ConfigError, WorkloadError) as exc:
-        print(f"perf record: {exc}", file=sys.stderr)
-        return 2
+    program = build_benchmark(args.benchmark, scale=args.scale)
     ledger = Ledger(_perf_ledger_dir(args.dir))
     config_fp = config_fingerprint(cfg)
     params_fp = config_fingerprint(params)
@@ -471,17 +527,13 @@ def _perf_side(spec: str, perf_dir: Path):
 
 def _cmd_perf_compare(args) -> int:
     perf_dir = _perf_ledger_dir(args.dir)
-    try:
-        threshold = parse_threshold(args.threshold)
-        metrics = None
-        if args.metrics:
-            metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
-        ref = _perf_side(args.ref, perf_dir)
-        new = _perf_side(args.new, perf_dir)
-        report = compare_records(ref, new, metrics=metrics)
-    except AnalysisError as exc:
-        print(f"perf compare: {exc}", file=sys.stderr)
-        return 2
+    threshold = parse_threshold(args.threshold)
+    metrics = None
+    if args.metrics:
+        metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    ref = _perf_side(args.ref, perf_dir)
+    new = _perf_side(args.new, perf_dir)
+    report = compare_records(ref, new, metrics=metrics)
     print(report.render(threshold))
     regressions = report.regressions(threshold)
     if regressions:
@@ -497,11 +549,7 @@ def _cmd_perf_compare(args) -> int:
 
 def _cmd_perf_report(args) -> int:
     perf_dir = _perf_ledger_dir(args.dir)
-    try:
-        records = load_records(perf_dir)
-    except AnalysisError as exc:
-        print(f"perf report: {exc}", file=sys.stderr)
-        return 2
+    records = load_records(perf_dir)
     if args.label is not None:
         records = [r for r in records if r.label == args.label]
         if not records:
@@ -557,9 +605,42 @@ def _cmd_perf_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    if args.list_rules:
+        for rule in RULES:
+            scopes = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+            print(f"{rule.id}  {rule.title}")
+            print(f"        scope: {scopes}")
+            print(f"        {rule.rationale}")
+        return 0
+    rules = None
+    if args.rule:
+        rules = [r.strip() for spec in args.rule for r in spec.split(",")
+                 if r.strip()]
+    baseline = Path(args.baseline) if args.baseline else None
+    if args.write_baseline:
+        # Regenerate against the *unbaselined* findings so the new file
+        # is complete, not a delta on top of the old one.
+        report = lint_paths(args.paths, rules=rules)
+        write_baseline(report.findings, Path(args.write_baseline), Path.cwd())
+        print(f"wrote {len(report.findings)} entr(y/ies) to "
+              f"{args.write_baseline} — fill in every reason before use")
+        return 0
+    report = lint_paths(args.paths, rules=rules, baseline=baseline)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "sanitize", False):
+        # Env-var (not kwarg) propagation so forked sweep workers and
+        # every nested run_simulation pick the sanitizer up too.
+        os.environ[SANITIZE_ENV_VAR] = "1"
     try:
         if args.command == "list":
             return _cmd_list()
@@ -570,14 +651,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "suite":
             return _cmd_suite(args)
         if args.command == "trace":
-            return _cmd_trace(args)
+            return _checked("trace", lambda: _cmd_trace(args))
+        if args.command == "lint":
+            return _checked("lint", lambda: _cmd_lint(args))
         if args.command == "perf":
             if args.perf_command == "record":
-                return _cmd_perf_record(args)
+                return _checked("perf record", lambda: _cmd_perf_record(args))
             if args.perf_command == "compare":
-                return _cmd_perf_compare(args)
+                return _checked("perf compare", lambda: _cmd_perf_compare(args))
             if args.perf_command == "report":
-                return _cmd_perf_report(args)
+                return _checked("perf report", lambda: _cmd_perf_report(args))
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

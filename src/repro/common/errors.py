@@ -50,3 +50,15 @@ class SweepError(SimulationError):
 
 class AnalysisError(ReproError):
     """Result post-processing failed (mismatched runs, empty input, ...)."""
+
+
+class LintError(ReproError):
+    """A ``repro lint`` invocation was unusable (usage error, exit 2).
+
+    Raised by :mod:`repro.lint` for problems with the *invocation* rather
+    than the linted code: an unknown rule id, a missing path, a source
+    file that does not parse, or a malformed baseline file (including a
+    baselined entry without a justification reason).  Findings in the
+    linted code are never exceptions — they are returned as data and
+    reported with exit code 1.
+    """

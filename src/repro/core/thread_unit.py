@@ -11,6 +11,8 @@ for the thread-pipelining scheduler to compose.
 
 from __future__ import annotations
 
+# Host-profiler section timing only; guarded by `prof is not None` at
+# every use and never feeds simulated state (see obs.hostprof).
 from time import perf_counter
 from typing import Iterable, Optional, Union
 
@@ -59,6 +61,7 @@ class ThreadUnit:
         "_obs_thread",
         "_obs_mem",
         "_prof",
+        "_san",
     )
 
     def __init__(
@@ -69,6 +72,7 @@ class ThreadUnit:
         params: SimParams,
         tracer=None,
         profiler=None,
+        sanitizer=None,
     ) -> None:
         tu = machine_cfg.tu
         self.tu_id = tu_id
@@ -79,11 +83,14 @@ class ThreadUnit:
         self._obs_mem = tracer if live and tracer.wants(CAT_MEM) else None
         #: Host wall-clock profiler (None → no section timing at all).
         self._prof = profiler
+        #: Runtime invariant checker (None → unsanitized, zero cost).
+        self._san = sanitizer
         self.mem = TUMemSystem(
             tu_id, tu.l1d, tu.l1i, tu.sidecar, l2,
             prefetch_late_cycles=params.prefetch_late_cycles,
             prefetch_late_far_cycles=params.prefetch_late_far_cycles,
             tracer=tracer,
+            sanitizer=sanitizer,
         )
         # Wrong-execution fills that install into the L1 occupy its fill
         # port and MSHRs for their full fill latency; the WEC has a
@@ -173,16 +180,19 @@ class ThreadUnit:
         wrong_path = self.cfg.wrong_exec.wrong_path
         stats = self.stats
         prof = self._prof
+        san = self._san
+        if san is not None:
+            san.check_execute(self.tu_id)
 
         # -- instruction fetch ------------------------------------------
         # Host-profiling timers are per-iteration (one pair per section,
         # amortized over hundreds of replayed events), never per-event.
-        t0 = perf_counter() if prof is not None else 0.0
+        t0 = perf_counter() if prof is not None else 0.0  # lint: allow(DET001 host profiling only)
         ifetch_stall = 0
         for addr in tracegen.ifetch_blocks(region, trace.n_instr).tolist():
             ifetch_stall += mem.ifetch(addr) - 1
         if prof is not None:
-            prof.add("tu.ifetch", perf_counter() - t0)
+            prof.add("tu.ifetch", perf_counter() - t0)  # lint: allow(DET001 host profiling only)
 
         if upstream_targets is not None:
             membuf.receive_targets(list(upstream_targets))
@@ -203,7 +213,7 @@ class ThreadUnit:
         load_correct = mem.load_correct
         load_wrong = mem.load_wrong
         if prof is not None:
-            t0 = perf_counter()
+            t0 = perf_counter()  # lint: allow(DET001 host profiling only)
         for kind, value, idx in zip(kinds.tolist(), values.tolist(), indices.tolist()):
             if kind == EV_LOAD:
                 if not sequential:
@@ -237,7 +247,7 @@ class ThreadUnit:
                     membuf.buffer_store(value, kind == EV_TSTORE)
 
         if prof is not None:
-            prof.add("tu.replay", perf_counter() - t0)
+            prof.add("tu.replay", perf_counter() - t0)  # lint: allow(DET001 host profiling only)
 
         # Port/MSHR contention from wrong-execution fills into the L1,
         # proportional to the fill latencies they occupy resources for
@@ -247,12 +257,14 @@ class ThreadUnit:
 
         # -- write-back stage: commit buffered stores in order -----------
         if not sequential:
+            if san is not None:
+                san.check_writeback(self.tu_id)
             if prof is not None:
-                t0 = perf_counter()
+                t0 = perf_counter()  # lint: allow(DET001 host profiling only)
             for addr, _is_target in membuf.writeback():
                 store_stall += mem.store_correct(addr) - 1
             if prof is not None:
-                prof.add("tu.writeback", perf_counter() - t0)
+                prof.add("tu.writeback", perf_counter() - t0)  # lint: allow(DET001 host profiling only)
 
         stats.counter("iterations" if not sequential else "chunks").add()
         stats.counter("instructions").add(trace.n_instr)
@@ -294,7 +306,10 @@ class ThreadUnit:
         obs_t = self._obs_thread
         obs_m = self._obs_mem
         prof = self._prof
-        t0 = perf_counter() if prof is not None else 0.0
+        san = self._san
+        if san is not None:
+            san.enter_wrong(self.tu_id, start_iter)
+        t0 = perf_counter() if prof is not None else 0.0  # lint: allow(DET001 host profiling only)
         if obs_t is not None:
             obs_t.emit(THREAD_ABORT, self.tu_id, start_iter)
         n = 0
@@ -310,11 +325,13 @@ class ThreadUnit:
             self.stats.counter("wrong_thread_loads").add(n)
         # The wrong thread reaches its own abort: squash buffered state.
         self.membuf.abort()
+        if san is not None:
+            san.exit_wrong(self.tu_id, self.membuf.occupancy)
         self.stats.counter("wrong_threads").add()
         if obs_t is not None:
             obs_t.emit(THREAD_KILL, self.tu_id, n)
         if prof is not None:
-            prof.add("tu.wrong_thread", perf_counter() - t0)
+            prof.add("tu.wrong_thread", perf_counter() - t0)  # lint: allow(DET001 host profiling only)
         return n
 
     def fork_cost(self, n_forward_values: int) -> float:

@@ -1,0 +1,50 @@
+"""Static analysis and runtime sanitizing for the WEC reproduction.
+
+Two complementary halves guard the determinism axiom the result cache,
+perf ledger, and regression gate all rest on ("same config + same code
+=> same metrics"):
+
+``repro.lint.rules`` / ``repro.lint.engine``
+    An AST-based static pass (stdlib :mod:`ast` + :mod:`tokenize` only)
+    with a small catalog of rules encoding the repo's real invariants —
+    no wall-clock or environment reads in sim paths, no global RNG
+    state, no unordered iteration feeding sim state or serialization,
+    frozen-dataclass hygiene for hashed configs, typed tracer event
+    kinds, and no blanket ``except``.  Exposed as ``repro lint`` with
+    the established 0/1/2 exit convention.
+
+``repro.lint.sanitize``
+    A runtime sanitizer (``REPRO_SANITIZE=1`` or ``--sanitize``) that
+    asserts the paper's architectural invariants while a simulation
+    runs: wrong-execution loads never write architectural state,
+    WEC/L1D fills stay mutually exclusive, aborted wrong threads never
+    fork or write back, ring communication stays unidirectional, and
+    per-TU cycles are monotone.  Violations raise a structured
+    :class:`~repro.lint.sanitize.SanitizerError` naming the TU, cycle,
+    and event; sanitized runs are bit-identical to unsanitized runs.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog, the allow-tag
+syntax (``# lint: allow(RULE reason)``), and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from .engine import LintReport, lint_paths, lint_source, load_baseline, write_baseline
+from .rules import RULES, RULES_BY_ID, Finding, Rule
+from .sanitize import Sanitizer, SanitizerError, maybe_sanitizer, sanitize_enabled
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "Sanitizer",
+    "SanitizerError",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "maybe_sanitizer",
+    "sanitize_enabled",
+    "write_baseline",
+]

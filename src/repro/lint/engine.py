@@ -1,0 +1,344 @@
+"""File walking, allow-tags, baseline, and reporting for ``repro lint``.
+
+Suppression model, in precedence order:
+
+1. **Allow tags** — ``# lint: allow(RULE reason)`` on the finding's line
+   or the line directly above it.  The reason is mandatory; a tag
+   without one does not suppress.  Tags are the preferred mechanism:
+   they live next to the code and document *why* the exception is safe.
+2. **Baseline** — a committed ``lint-baseline.json`` ratchet file listing
+   pre-existing findings by (rule, path, line) with a mandatory reason.
+   Entries that no longer match anything are reported as stale so the
+   baseline only ever shrinks.
+
+Invocation problems (unknown rule, missing path, unparseable source,
+malformed baseline, baselined entry without a reason) raise
+:class:`~repro.common.errors.LintError`, which the CLI maps to exit 2;
+findings are data and map to exit 1.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..common.errors import LintError
+from .rules import RULES, RULES_BY_ID, Finding, check_module
+
+__all__ = [
+    "BaselineEntry",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "module_name",
+    "parse_allow_tags",
+    "write_baseline",
+]
+
+#: ``# lint: allow(DET001 host profiling only)`` — rule id, then the
+#: mandatory free-text reason, inside one pair of parentheses.  Several
+#: tags may share a comment: ``# lint: allow(DET001 x) allow(EXC001 y)``.
+_ALLOW_RE = re.compile(r"allow\(\s*([A-Z]{3}\d{3})\s+([^)]*?)\s*\)")
+_TAG_RE = re.compile(r"#\s*lint:\s*(.+)$")
+
+
+def module_name(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    Paths containing a ``repro`` component are resolved relative to it
+    (``src/repro/mem/cache.py`` -> ``repro.mem.cache``) so scoped rules
+    apply regardless of the checkout location.  Anything else falls back
+    to the bare stem, which only globally-scoped rules match.
+    """
+    parts = list(path.parts)
+    parts[-1] = path.stem
+    if parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        return ".".join(parts[start:])
+    return parts[-1] if parts else path.stem
+
+
+def parse_allow_tags(text: str) -> Dict[int, Dict[str, str]]:
+    """Extract ``# lint: allow(RULE reason)`` tags from comments.
+
+    Returns ``{line: {rule_id: reason}}``.  Tokenizing (rather than
+    regexing raw lines) means string literals that merely *mention* the
+    tag syntax — such as the fixtures in ``tests/test_lint.py`` — never
+    suppress anything.
+    """
+    tags: Dict[int, Dict[str, str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            tag_match = _TAG_RE.search(tok.string)
+            if tag_match is None:
+                continue
+            for rule_id, reason in _ALLOW_RE.findall(tag_match.group(1)):
+                if reason:
+                    tags.setdefault(tok.start[0], {})[rule_id] = reason
+    except tokenize.TokenizeError:
+        pass  # the ast.parse in lint_source reports the syntax error
+    return tags
+
+
+def lint_source(
+    text: str,
+    path: str = "<memory>",
+    module: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one source string; returns ``(findings, n_suppressed)``.
+
+    ``module`` defaults to :func:`module_name` of ``path``.  Findings
+    covered by a justified allow tag on their own line or the line above
+    are counted in ``n_suppressed`` instead of being returned.
+    """
+    if module is None:
+        module = module_name(Path(path))
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot lint, file does not parse: {exc}") from exc
+    raw = check_module(tree, module, path, rules)
+    if not raw:
+        return [], 0
+    tags = parse_allow_tags(text)
+    findings: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        here = tags.get(finding.line, {})
+        above = tags.get(finding.line - 1, {})
+        if finding.rule in here or finding.rule in above:
+            suppressed += 1
+        else:
+            findings.append(finding)
+    return findings, suppressed
+
+
+# --- baseline -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One ratcheted finding: (rule, path, line) plus its justification."""
+
+    rule: str
+    path: str
+    line: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "reason": self.reason,
+        }
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Load and validate a baseline file; every entry needs a reason."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise LintError(f"baseline {path}: expected an object with version 1")
+    raw_entries = data.get("entries")
+    if not isinstance(raw_entries, list):
+        raise LintError(f"baseline {path}: 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for i, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise LintError(f"baseline {path}: entry {i} is not an object")
+        rule = raw.get("rule")
+        rel = raw.get("path")
+        line = raw.get("line")
+        reason = raw.get("reason")
+        if not isinstance(rule, str) or rule not in RULES_BY_ID:
+            raise LintError(f"baseline {path}: entry {i} has unknown rule {rule!r}")
+        if not isinstance(rel, str) or not rel:
+            raise LintError(f"baseline {path}: entry {i} needs a 'path' string")
+        if not isinstance(line, int):
+            raise LintError(f"baseline {path}: entry {i} needs an integer 'line'")
+        if not isinstance(reason, str) or not reason.strip():
+            raise LintError(
+                f"baseline {path}: entry {i} ({rule} {rel}:{line}) has no "
+                "reason — every baselined finding must be justified"
+            )
+        if reason.strip().upper().startswith("TODO"):
+            raise LintError(
+                f"baseline {path}: entry {i} ({rule} {rel}:{line}) still has "
+                "a TODO placeholder reason — replace it with a real "
+                "justification"
+            )
+        entries.append(BaselineEntry(rule, rel, line, reason.strip()))
+    return entries
+
+
+def write_baseline(findings: Sequence[Finding], path: Path, root: Path) -> None:
+    """Write ``findings`` as a fresh baseline, paths relative to ``root``.
+
+    Reasons are stamped as TODO markers on purpose: the loader rejects
+    them until a human replaces each with a real justification, so a
+    regenerated baseline cannot silently launder new violations.
+    """
+    entries = [
+        {
+            "rule": f.rule,
+            "path": _relativize(Path(f.path), root),
+            "line": f.line,
+            "reason": "TODO: justify this baselined finding",
+        }
+        for f in findings
+    ]
+    payload = {"version": 1, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# --- report ---------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of one lint invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+    n_baselined: int = 0
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def render_text(self) -> str:
+        lines = [
+            f"{f.location}: {f.rule} {f.message}  [{RULES_BY_ID[f.rule].title}]"
+            for f in self.findings
+        ]
+        for entry in self.stale_baseline:
+            lines.append(
+                f"warning: stale baseline entry {entry.rule} "
+                f"{entry.path}:{entry.line} no longer matches — remove it"
+            )
+        extras = []
+        if self.n_suppressed:
+            extras.append(f"{self.n_suppressed} allow-tagged")
+        if self.n_baselined:
+            extras.append(f"{self.n_baselined} baselined")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.n_files} file(s){suffix}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files": self.n_files,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.n_suppressed,
+            "baselined": self.n_baselined,
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+        }
+
+
+def _expand_paths(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    seen = set()
+    unique = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Path] = None,
+) -> LintReport:
+    """Lint files/directories and return an aggregated :class:`LintReport`.
+
+    ``rules`` restricts the pass to the given rule ids (unknown ids are
+    a :class:`LintError`).  ``baseline`` applies a ratchet file; entry
+    paths are resolved relative to the baseline file's directory.
+    """
+    if rules is not None:
+        unknown = sorted(set(rules) - set(RULES_BY_ID))
+        if unknown:
+            known = ", ".join(r.id for r in RULES)
+            raise LintError(
+                f"unknown rule id(s): {', '.join(unknown)} (known: {known})"
+            )
+        rules = sorted(set(rules))
+
+    files = _expand_paths([Path(p) for p in paths])
+    report = LintReport(
+        n_files=len(files),
+        rules=tuple(rules) if rules is not None else tuple(r.id for r in RULES),
+    )
+    for file_path in files:
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        findings, suppressed = lint_source(text, path=str(file_path), rules=rules)
+        report.findings.extend(findings)
+        report.n_suppressed += suppressed
+
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if baseline is not None:
+        entries = load_baseline(baseline)
+        base_dir = baseline.resolve().parent
+        matched: Dict[Tuple[str, Path, int], BaselineEntry] = {
+            (e.rule, (base_dir / e.path).resolve(), e.line): e for e in entries
+        }
+        used = set()
+        remaining: List[Finding] = []
+        for finding in report.findings:
+            key = (finding.rule, Path(finding.path).resolve(), finding.line)
+            if key in matched:
+                used.add(key)
+                report.n_baselined += 1
+            else:
+                remaining.append(finding)
+        report.findings = remaining
+        report.stale_baseline = [
+            entry for key, entry in matched.items() if key not in used
+        ]
+    return report

@@ -1,0 +1,306 @@
+"""Runtime simulation sanitizer: the paper's invariants, checked live.
+
+Enabled per run (``run_simulation(..., sanitizer=Sanitizer())``), per
+process (``REPRO_SANITIZE=1``), or from the CLI (``--sanitize``), the
+sanitizer rides along a simulation and asserts the architectural
+invariants the WEC design rests on:
+
+* **wrong execution never writes architectural state** — a wrong-path /
+  wrong-thread load never dirties a cache block it brought in, and a
+  wrong (aborted) thread never stores, never writes back its
+  speculative memory buffer, and never retains buffered stores past its
+  abort;
+* **WEC/L1D mutual exclusion** — a block never resides in the L1 and
+  the sidecar at once, and under the WEC policy a wrong-execution fill
+  never installs into the L1 (pollution elimination, Figure 6);
+* **aborted threads never fork** — successors are forked only by live
+  threads, and only to the next TU around the ring;
+* **ring communication is unidirectional** — target stores flow from
+  TU *i* to TU *(i+1) mod n* exclusively;
+* **per-TU cycle monotonicity** — an iteration never ends before it
+  starts, never starts before the TU's previous iteration retired, and
+  the global region clock never moves backwards.
+
+Violations raise :class:`SanitizerError` carrying the check name, the
+TU, and the cycle.  The sanitizer is *read-only* on simulated state: it
+observes caches through the non-mutating ``probe``/``__contains__``
+accessors (never the LRU-touching ``lookup``), so sanitized runs are
+bit-identical to unsanitized ones (enforced in
+``tests/test_sanitizer.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Set
+
+from ..common.errors import SimulationError
+
+__all__ = ["SanitizerError", "Sanitizer", "maybe_sanitizer", "sanitize_enabled"]
+
+#: Cycle comparisons run on floats accumulated in different orders;
+#: allow relative rounding noise, never a real step backwards.
+_REL_TOL = 1e-9
+
+ENV_VAR = "REPRO_SANITIZE"
+
+
+class SanitizerError(SimulationError):
+    """An architectural invariant was violated during simulation.
+
+    Attributes name the failing ``check``, the ``tu`` it fired on, and
+    the simulated ``cycle`` (best known estimate; memory-system checks
+    report the cycle of the enclosing region event).
+    """
+
+    def __init__(self, check: str, tu: int, cycle: float, detail: str) -> None:
+        super().__init__(
+            f"sanitizer: {check} violated on TU {tu} at cycle {cycle:.1f}: {detail}"
+        )
+        self.check = check
+        self.tu = tu
+        self.cycle = cycle
+        self.detail = detail
+
+
+class Sanitizer:
+    """Invariant checker threaded through Machine/Scheduler/TUMemSystem.
+
+    One instance covers one simulation.  It keeps no per-run results —
+    only the bookkeeping needed to evaluate the invariants (which TUs
+    are currently wrong threads, each TU's last retire cycle, the region
+    clock) plus an ``n_checks`` counter so tests can prove it was live.
+    """
+
+    __slots__ = ("n_checks", "_wrong", "_iter_end", "_clock")
+
+    def __init__(self) -> None:
+        self.n_checks = 0
+        #: TUs currently executing as wrong (aborted) threads.  Used for
+        #: membership tests only — never iterated.
+        self._wrong: Set[int] = set()
+        self._iter_end: Dict[int, float] = {}
+        self._clock = 0.0
+
+    def _fail(self, check: str, tu: int, detail: str, cycle: Optional[float] = None) -> None:
+        raise SanitizerError(check, tu, self._clock if cycle is None else cycle, detail)
+
+    @staticmethod
+    def _tol(*values: float) -> float:
+        return _REL_TOL * max(1.0, *(abs(v) for v in values))
+
+    # ------------------------------------------------------------------
+    # thread lifecycle (wired in ThreadUnit / Scheduler)
+    # ------------------------------------------------------------------
+
+    def enter_wrong(self, tu: int, start_iter: int) -> None:
+        """TU begins running as a wrong thread for ``start_iter``."""
+        self.n_checks += 1
+        if tu in self._wrong:
+            self._fail(
+                "wrong_thread_reentry",
+                tu,
+                f"TU re-entered wrong-thread mode for iteration {start_iter} "
+                "without aborting its previous wrong thread",
+            )
+        self._wrong.add(tu)
+
+    def exit_wrong(self, tu: int, membuf_occupancy: int) -> None:
+        """TU reached its abort; its speculative buffer must be empty."""
+        self.n_checks += 1
+        self._wrong.discard(tu)
+        if membuf_occupancy:
+            self._fail(
+                "wrong_thread_writeback",
+                tu,
+                f"aborted wrong thread retained {membuf_occupancy} buffered "
+                "store(s) past its abort (speculative state must be squashed)",
+            )
+
+    def check_execute(self, tu: int) -> None:
+        """A wrong thread must never execute correct-path work."""
+        self.n_checks += 1
+        if tu in self._wrong:
+            self._fail(
+                "wrong_thread_execute",
+                tu,
+                "TU executed a correct-path iteration while marked as a "
+                "wrong (aborted) thread",
+            )
+
+    def check_writeback(self, tu: int) -> None:
+        """Only live threads may commit their speculative buffers."""
+        self.n_checks += 1
+        if tu in self._wrong:
+            self._fail(
+                "wrong_thread_writeback",
+                tu,
+                "wrong (aborted) thread attempted to write back buffered stores",
+            )
+
+    def check_fork(self, src_tu: int) -> None:
+        """Only live threads fork successors."""
+        self.n_checks += 1
+        if src_tu in self._wrong:
+            self._fail(
+                "wrong_thread_fork",
+                src_tu,
+                "wrong (aborted) thread forked a successor thread",
+            )
+
+    def check_ring(self, src_tu: int, dst_tu: int, n_tus: int) -> None:
+        """Target stores travel one hop forward around the ring, only."""
+        self.n_checks += 1
+        if n_tus > 1 and dst_tu != (src_tu + 1) % n_tus:
+            self._fail(
+                "ring_unidirectional",
+                dst_tu,
+                f"target-store forwarding from TU {src_tu} to TU {dst_tu} "
+                f"is not the unidirectional ring successor "
+                f"(expected TU {(src_tu + 1) % n_tus} of {n_tus})",
+            )
+
+    # ------------------------------------------------------------------
+    # cycle accounting (wired in Scheduler)
+    # ------------------------------------------------------------------
+
+    def check_iter(self, tu: int, start: float, end: float) -> None:
+        """One iteration's span: non-negative, after the TU's last retire."""
+        self.n_checks += 1
+        if end < start - self._tol(start, end):
+            self._fail(
+                "iter_negative_span",
+                tu,
+                f"iteration ends at cycle {end:.1f} before it starts at "
+                f"{start:.1f}",
+                cycle=start,
+            )
+        last = self._iter_end.get(tu)
+        if last is not None and start < last - self._tol(start, last):
+            self._fail(
+                "tu_cycle_monotonic",
+                tu,
+                f"iteration starts at cycle {start:.1f} before the TU's "
+                f"previous iteration retired at {last:.1f}",
+                cycle=start,
+            )
+        self._iter_end[tu] = end
+
+    def check_clock(self, now: float) -> None:
+        """The global region clock only moves forward."""
+        self.n_checks += 1
+        if now < self._clock - self._tol(now, self._clock):
+            self._fail(
+                "clock_monotonic",
+                -1,
+                f"region clock moved backwards: {self._clock:.1f} -> {now:.1f}",
+                cycle=now,
+            )
+        self._clock = now
+
+    # ------------------------------------------------------------------
+    # memory-system invariants (wired in TUMemSystem)
+    # ------------------------------------------------------------------
+
+    def attach_memory_checks(self, mem) -> None:
+        """Wrap a :class:`~repro.mem.hierarchy.TUMemSystem`'s policies.
+
+        The wrappers re-bind the ``load_correct``/``store_correct``/
+        ``load_wrong`` slots with checking versions.  All observation
+        goes through ``__contains__``/``probe`` — the accessors that do
+        not touch LRU state — so wrapped and unwrapped runs take
+        identical microarchitectural decisions.
+        """
+        from ..common.config import SidecarKind
+        from ..mem.cache import DIRTY
+
+        san = self
+        tu = mem.tu_id
+        l1d = mem.l1d
+        sidecar = mem.sidecar
+        block_bits = l1d.block_bits
+        is_wec = mem.sidecar_kind is SidecarKind.WEC
+        inner_load_correct = mem.load_correct
+        inner_store_correct = mem.store_correct
+        inner_load_wrong = mem.load_wrong
+
+        def _check_exclusive(block: int) -> None:
+            if (
+                sidecar is not None
+                and block in l1d
+                and sidecar.probe(block) is not None
+            ):
+                san._fail(
+                    "l1_sidecar_exclusive",
+                    tu,
+                    f"block {block:#x} resides in both the L1D and the "
+                    f"{mem.sidecar_kind.value} sidecar after an access",
+                )
+
+        def load_correct(addr: int) -> int:
+            latency = inner_load_correct(addr)
+            san.n_checks += 1
+            _check_exclusive(addr >> block_bits)
+            return latency
+
+        def store_correct(addr: int) -> int:
+            san.n_checks += 1
+            if tu in san._wrong:
+                san._fail(
+                    "wrong_thread_store",
+                    tu,
+                    f"wrong (aborted) thread stored to address {addr:#x}",
+                )
+            latency = inner_store_correct(addr)
+            _check_exclusive(addr >> block_bits)
+            return latency
+
+        def load_wrong(addr: int) -> int:
+            block = addr >> block_bits
+            pre_l1 = block in l1d
+            pre_sidecar = sidecar is not None and sidecar.probe(block) is not None
+            latency = inner_load_wrong(addr)
+            san.n_checks += 1
+            if is_wec and not pre_l1 and block in l1d:
+                san._fail(
+                    "wec_wrong_fill_l1",
+                    tu,
+                    f"wrong-execution fill of block {block:#x} installed "
+                    "into the L1D under the WEC policy (must fill the WEC "
+                    "only — pollution elimination, Figure 6)",
+                )
+            if not pre_l1 and not pre_sidecar:
+                flags = l1d.probe(block)
+                if flags is None and sidecar is not None:
+                    flags = sidecar.probe(block)
+                if flags is not None and flags & DIRTY:
+                    san._fail(
+                        "wrong_load_writes_state",
+                        tu,
+                        f"wrong-execution load of block {block:#x} created "
+                        "dirty (architecturally written) cache state",
+                    )
+            _check_exclusive(block)
+            return latency
+
+        mem.load_correct = load_correct
+        mem.store_correct = store_correct
+        mem.load_wrong = load_wrong
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests sanitized runs."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in ("", "0", "false", "no")
+
+
+def maybe_sanitizer(explicit: Optional[Sanitizer] = None) -> Optional[Sanitizer]:
+    """Resolve the sanitizer for one run.
+
+    An explicitly passed instance always wins; otherwise a fresh one is
+    created when ``REPRO_SANITIZE=1`` is set (so the env var sanitizes
+    whole test suites and forked sweep workers without code changes),
+    and ``None`` — the zero-cost default — is returned otherwise.
+    """
+    if explicit is not None:
+        return explicit
+    return Sanitizer() if sanitize_enabled() else None

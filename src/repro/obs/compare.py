@@ -414,8 +414,9 @@ def compare_records(
                 f"unknown metric(s): {', '.join(unknown)} "
                 f"(known: {', '.join(m.name for m in METRICS)})"
             )
+    wanted_names = None if metrics is None else frozenset(metrics)
     wanted = [
-        m for m in METRICS if metrics is None or m.name in set(metrics)
+        m for m in METRICS if wanted_names is None or m.name in wanted_names
     ]
     ref_idx = _index(ref)
     new_idx = _index(new)

@@ -16,6 +16,7 @@ from typing import Optional, Union
 
 from ..common.config import MachineConfig, SimParams
 from ..common.rng import StreamFactory
+from ..lint.sanitize import maybe_sanitizer
 from ..obs.tracer import IntervalMetrics
 from ..sta.machine import Machine
 from ..sta.scheduler import Scheduler
@@ -37,6 +38,7 @@ def run_simulation(
     params: SimParams = SimParams(),
     tracer=None,
     profiler=None,
+    sanitizer=None,
 ) -> SimResult:
     """Simulate ``benchmark`` (name or prebuilt program) on ``config``.
 
@@ -56,13 +58,21 @@ def run_simulation(
     collecting *host* wall-clock attribution (which simulator component
     the real time went to).  Like the tracer it never touches simulated
     state, so profiled runs are bit-identical to unprofiled ones.
+
+    ``sanitizer`` is an optional :class:`~repro.lint.sanitize.Sanitizer`
+    asserting the paper's architectural invariants while the run
+    executes (wrong execution never writes state, WEC/L1D exclusivity,
+    ring direction, cycle monotonicity).  Like the tracer/profiler it
+    stays out of hashed :class:`SimParams` and is read-only on sim
+    state, so sanitized runs are bit-identical too.  Left ``None`` it is
+    auto-created when ``REPRO_SANITIZE=1`` is set in the environment.
     """
     if isinstance(benchmark, str):
         program = build_benchmark(benchmark, scale=params.scale)
     else:
         program = benchmark
     return run_program(program, config, params, tracer=tracer,
-                       profiler=profiler)
+                       profiler=profiler, sanitizer=sanitizer)
 
 
 def run_program(
@@ -71,8 +81,10 @@ def run_program(
     params: SimParams = SimParams(),
     tracer=None,
     profiler=None,
+    sanitizer=None,
 ) -> SimResult:
     """Simulate a prebuilt :class:`Program` on ``config``."""
+    sanitizer = maybe_sanitizer(sanitizer)
     machine_tracer = tracer
     if profiler is not None and tracer is not None:
         # Route the machine's emits through a timing proxy so tracing
@@ -80,7 +92,7 @@ def run_program(
         # sections; the caller keeps its direct tracer reference.
         machine_tracer = profiler.wrap_tracer(tracer)
     machine = Machine(config, params, tracer=machine_tracer,
-                      profiler=profiler)
+                      profiler=profiler, sanitizer=sanitizer)
     tracegen = TraceGenerator(StreamFactory(params.seed))
     scheduler = Scheduler(machine, tracegen)
 
@@ -93,7 +105,9 @@ def run_program(
     warmup = min(params.warmup_invocations, program.n_invocations - 1)
     stats_live = warmup == 0
 
-    perf_clock = time.perf_counter if profiler is not None else None
+    perf_clock = (  # lint: allow(DET001 host profiling; never feeds sim state)
+        time.perf_counter if profiler is not None else None
+    )
 
     for invocation, region in program.schedule():
         if not stats_live and invocation >= warmup:

@@ -58,7 +58,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..common.config import MachineConfig, SimParams
-from ..common.errors import SweepError
+from ..common.errors import AnalysisError, SweepError
 from ..obs.hostprof import HostProfiler, peak_rss_kb
 from ..obs.ledger import Ledger, PerfRecord, default_perf_dir
 from ..workloads.benchmarks import build_benchmark
@@ -219,8 +219,9 @@ class DiskCache:
                 return SimResult.from_dict(json.load(fh))
         except FileNotFoundError:
             return None
-        except Exception:
-            # Corrupt/incompatible entry: drop it and treat as a miss.
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt/incompatible entry (unreadable file, bad JSON, or a
+            # schema drift from_dict rejects): drop it, treat as a miss.
             try:
                 path.unlink()
             except OSError:
@@ -431,13 +432,13 @@ def _execute_cell(
     the process's peak RSS.
     """
     profiler = HostProfiler() if profile else None
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # lint: allow(DET001 host wall-clock for sweep stats)
     try:
         result = run_program(
             _build_program(benchmark, params.scale), config, params,
             profiler=profiler,
         )
-        wall_s = time.perf_counter() - t0
+        wall_s = time.perf_counter() - t0  # lint: allow(DET001 host wall-clock for sweep stats)
         host: Dict[str, object] = {"wall_s": wall_s}
         if profiler is not None:
             host["profile"] = profiler.snapshot(wall_s)
@@ -445,7 +446,8 @@ def _execute_cell(
             if rss is not None:
                 host["peak_rss_kb"] = rss
         return ("ok", result.to_dict(), host)
-    except Exception as exc:  # noqa: BLE001 — reported per cell by key
+    # lint: allow(EXC001 worker isolation boundary: one bad cell is reported by key, never kills the sweep)
+    except Exception as exc:
         return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
 
 
@@ -515,7 +517,7 @@ def run_cells(
         The ``context`` string stamped on recorded ledger entries.
     """
     cells = list(cells)
-    t_start = time.perf_counter()
+    t_start = time.perf_counter()  # lint: allow(DET001 host wall-clock for sweep stats)
     dcache = DiskCache(cache_dir) if _cache_enabled(cache) else None
 
     perf_root = Path(perf_dir) if perf_dir is not None else default_perf_dir()
@@ -585,7 +587,8 @@ def run_cells(
                     progress(cell.benchmark, cell.label)
                 try:
                     payload = future.result()
-                except Exception as exc:  # pool/pickling breakage
+                # lint: allow(EXC001 pool/pickling breakage surfaces as a per-cell failure, not a dead sweep)
+                except Exception as exc:
                     payload = ("err", f"{type(exc).__name__}: {exc}",
                                traceback.format_exc())
                 ingest(cell, key, payload)
@@ -606,7 +609,7 @@ def run_cells(
         if cell.grid_key in results
     }
     stats.records = [records[c.grid_key] for c in cells if c.grid_key in records]
-    stats.wall_s = time.perf_counter() - t_start
+    stats.wall_s = time.perf_counter() - t_start  # lint: allow(DET001 host wall-clock for sweep stats)
 
     if ledger is not None:
         _record_perf(ledger, cells, ordered, records, stats, perf_context)
@@ -650,7 +653,9 @@ def _record_perf(
         if baseline is not None and cell.label != "orig":
             try:
                 speedup_pct = result.relative_speedup_pct_vs(baseline)
-            except Exception:  # noqa: BLE001 — mismatched seed/scale grids
+            except AnalysisError:
+                # Mismatched seed/scale grids have no comparable orig
+                # cell; the record simply carries no speedup.
                 speedup_pct = None
         host = record.host
         rss = host.get("peak_rss_kb")

@@ -25,6 +25,7 @@ class Machine:
 
     __slots__ = (
         "cfg", "params", "l2", "tus", "bus", "head_tu", "tracer", "profiler",
+        "sanitizer",
     )
 
     def __init__(
@@ -33,6 +34,7 @@ class Machine:
         params: SimParams = SimParams(),
         tracer=None,
         profiler=None,
+        sanitizer=None,
     ) -> None:
         self.cfg = cfg
         self.params = params
@@ -40,10 +42,12 @@ class Machine:
         self.tracer = tracer
         #: Host-side wall-clock profiler (None → unprofiled).
         self.profiler = profiler
+        #: Runtime invariant checker (None → unsanitized, zero cost).
+        self.sanitizer = sanitizer
         self.l2 = SharedL2(cfg.mem, tracer=tracer)
         self.tus: List[ThreadUnit] = [
             ThreadUnit(i, cfg, self.l2, params, tracer=tracer,
-                       profiler=profiler)
+                       profiler=profiler, sanitizer=sanitizer)
             for i in range(cfg.n_thread_units)
         ]
         self.bus = UpdateBus([tu.mem for tu in self.tus])

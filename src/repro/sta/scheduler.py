@@ -69,7 +69,7 @@ class Scheduler:
 
     __slots__ = (
         "machine", "tracegen", "_clock",
-        "_tracer", "_obs_region", "_obs_thread", "_obs_ring",
+        "_tracer", "_obs_region", "_obs_thread", "_obs_ring", "_san",
     )
 
     def __init__(self, machine: Machine, tracegen: TraceGenerator) -> None:
@@ -79,6 +79,7 @@ class Scheduler:
         # so each region's local schedule is offset by the cycles of
         # everything that ran before it.  Only tracing consumes this.
         self._clock = 0.0
+        self._san = machine.sanitizer
         tracer = machine.tracer
         live = tracer is not None and tracer.enabled
         self._tracer = tracer if live else None
@@ -113,6 +114,7 @@ class Scheduler:
         base = self._clock
         obs = self._tracer
         obs_t = self._obs_thread
+        san = self._san
         if self._obs_region is not None:
             self._obs_region.emit(
                 REGION_BEGIN, 0, invocation, tag=region.name, cycle=base
@@ -120,6 +122,13 @@ class Scheduler:
 
         for i in range(lo, hi):
             tu = machine.tu_for_iteration(i)
+            if san is not None and i > lo:
+                # Iteration i was forked by its ring predecessor, which
+                # also forwarded the target stores consumed below: both
+                # must come from a live thread one hop back on the ring.
+                src = (i - 1) % n_tus
+                san.check_fork(src)
+                san.check_ring(src, tu.tu_id, n_tus)
             trace = tracegen.iteration_trace(region, i)
             if obs is not None:
                 # Replay happens before the schedule times are composed;
@@ -183,6 +192,8 @@ class Scheduler:
                     cycle=base + start,
                 )
 
+            if san is not None:
+                san.check_iter(tu.tu_id, base + start, base + wb_end)
             tu_free[tu.tu_id] = wb_end
             prev_cont_end = cont_end
             prev_comp_end = comp_end
@@ -206,6 +217,8 @@ class Scheduler:
                 wrong_loads += tu.run_wrong_thread(region, wrong_iter, tracegen)
         machine.set_head((hi - 1) % n_tus)
         self._clock = base + region_end
+        if san is not None:
+            san.check_clock(self._clock)
         if self._obs_region is not None:
             self._obs_region.emit(
                 REGION_END, 0, invocation, hi - lo, region_end,
@@ -241,6 +254,7 @@ class Scheduler:
             self._obs_region.emit(
                 REGION_BEGIN, tu.tu_id, invocation, tag=region.name, cycle=base
             )
+        san = self._san
         for c in range(lo, hi):
             if obs is not None:
                 obs.now = base + cycles
@@ -248,6 +262,8 @@ class Scheduler:
             timing = tu.execute_sequential_chunk(
                 region, c, trace, tracegen, update_bus=machine.bus
             )
+            if san is not None:
+                san.check_iter(tu.tu_id, base + cycles, base + cycles + timing.total)
             if obs_t is not None:
                 obs_t.emit(
                     ITER_SPAN, tu.tu_id, c, trace.n_instr,
@@ -259,6 +275,8 @@ class Scheduler:
                 )
             cycles += timing.total
         self._clock = base + cycles
+        if san is not None:
+            san.check_clock(self._clock)
         if self._obs_region is not None:
             self._obs_region.emit(
                 REGION_END, tu.tu_id, invocation, hi - lo, cycles,

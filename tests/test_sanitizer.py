@@ -1,0 +1,284 @@
+"""The runtime half of ``repro lint``: the simulation sanitizer.
+
+Three claims, per the design contract in ``repro.lint.sanitize``:
+
+(a) seeded runs of the wrong-execution configurations pass every
+    invariant check cleanly, with the sanitizer provably live;
+(b) injected violations — a wrong thread writing back, a WEC fill
+    landing in the L1, a backwards ring hop, a non-monotone clock —
+    trip a structured :class:`SanitizerError` naming check/TU/cycle;
+(c) sanitized runs are bit-identical to unsanitized ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SidecarConfig, SidecarKind, SimParams
+from repro.core.thread_unit import ThreadUnit
+from repro.lint.sanitize import (
+    Sanitizer,
+    SanitizerError,
+    maybe_sanitizer,
+    sanitize_enabled,
+)
+from repro.mem.cache import DIRTY
+from repro.mem.hierarchy import TUMemSystem
+from repro.sim.driver import run_simulation
+from repro.sta.configs import named_config
+
+PARAMS = SimParams(seed=11, scale=2e-5, warmup_invocations=0)
+
+
+def run(config_name: str, sanitizer=None):
+    cfg = named_config(config_name, n_tus=4)
+    return run_simulation("181.mcf", cfg, PARAMS, sanitizer=sanitizer)
+
+
+def sanitized_mem(kind: SidecarKind, tiny_l1, l1i_cfg, l2, sabotage=None):
+    """A TUMemSystem with checks attached, optionally over a broken policy.
+
+    ``sabotage`` maps policy-slot names to buggy replacements; they are
+    installed *before* the sanitizer wraps the slots, exactly as a buggy
+    implementation inside the hierarchy would sit beneath the checks.
+    """
+    san = Sanitizer()
+    mem = TUMemSystem(
+        0, tiny_l1, l1i_cfg, SidecarConfig(kind=kind, entries=4), l2
+    )
+    for name, fn in (sabotage or {}).items():
+        setattr(mem, name, fn)
+    san.attach_memory_checks(mem)
+    return san, mem
+
+
+# ---------------------------------------------------------------------------
+# (a) seeded runs pass clean
+# ---------------------------------------------------------------------------
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("name", ["wth-wp-wec", "wth-wp-vc"])
+    def test_wrong_execution_configs_pass_with_live_sanitizer(self, name):
+        san = Sanitizer()
+        res = run(name, sanitizer=san)
+        # Live, and actually exercised on wrong-execution traffic.
+        assert san.n_checks > 0
+        assert res.wrong_loads > 0
+
+    @pytest.mark.parametrize("name", ["orig", "nlp"])
+    def test_baseline_configs_pass(self, name):
+        san = Sanitizer()
+        run(name, sanitizer=san)
+        assert san.n_checks > 0
+
+    def test_env_var_enables_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+        assert isinstance(maybe_sanitizer(), Sanitizer)
+        # The driver auto-creates one from the env; the run must still pass.
+        run("wth-wp-wec")
+
+    def test_env_var_off_means_no_sanitizer(self, monkeypatch):
+        for off in ("", "0", "false", "no"):
+            monkeypatch.setenv("REPRO_SANITIZE", off)
+            assert not sanitize_enabled()
+            assert maybe_sanitizer() is None
+
+    def test_explicit_instance_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        san = Sanitizer()
+        assert maybe_sanitizer(san) is san
+
+
+# ---------------------------------------------------------------------------
+# (b) injected violations trip SanitizerError
+# ---------------------------------------------------------------------------
+
+
+class TestThreadLifecycleChecks:
+    def test_wrong_thread_writeback_via_retained_buffer(self):
+        san = Sanitizer()
+        san.enter_wrong(0, 5)
+        with pytest.raises(SanitizerError) as ei:
+            san.exit_wrong(0, membuf_occupancy=3)
+        assert ei.value.check == "wrong_thread_writeback"
+        assert ei.value.tu == 0
+        assert "sanitizer:" in str(ei.value)
+
+    def test_wrong_thread_direct_writeback(self):
+        san = Sanitizer()
+        san.enter_wrong(1, 9)
+        with pytest.raises(SanitizerError, match="wrong_thread_writeback"):
+            san.check_writeback(1)
+
+    def test_wrong_thread_may_not_execute_or_fork(self):
+        san = Sanitizer()
+        san.enter_wrong(2, 7)
+        with pytest.raises(SanitizerError, match="wrong_thread_execute"):
+            san.check_execute(2)
+        with pytest.raises(SanitizerError, match="wrong_thread_fork"):
+            san.check_fork(2)
+        # Other TUs stay unaffected.
+        san.check_execute(0)
+        san.check_fork(3)
+
+    def test_wrong_thread_reentry(self):
+        san = Sanitizer()
+        san.enter_wrong(0, 5)
+        with pytest.raises(SanitizerError, match="wrong_thread_reentry"):
+            san.enter_wrong(0, 9)
+
+    def test_clean_lifecycle_passes(self):
+        san = Sanitizer()
+        san.enter_wrong(0, 5)
+        san.exit_wrong(0, membuf_occupancy=0)
+        san.check_execute(0)
+        assert san.n_checks == 3
+
+
+class TestRingAndClockChecks:
+    def test_ring_is_unidirectional(self):
+        san = Sanitizer()
+        san.check_ring(0, 1, 4)
+        san.check_ring(3, 0, 4)  # wraparound is the one legal "backwards" hop
+        with pytest.raises(SanitizerError) as ei:
+            san.check_ring(0, 2, 4)
+        assert ei.value.check == "ring_unidirectional"
+        with pytest.raises(SanitizerError, match="ring_unidirectional"):
+            san.check_ring(2, 1, 4)
+
+    def test_single_tu_has_no_ring(self):
+        Sanitizer().check_ring(0, 0, 1)
+
+    def test_iteration_span_must_be_positive(self):
+        san = Sanitizer()
+        with pytest.raises(SanitizerError, match="iter_negative_span"):
+            san.check_iter(0, start=100.0, end=90.0)
+
+    def test_tu_cycles_are_monotone(self):
+        san = Sanitizer()
+        san.check_iter(0, 0.0, 100.0)
+        san.check_iter(0, 100.0, 180.0)  # back-to-back retire is fine
+        san.check_iter(1, 10.0, 50.0)  # other TU has its own stream
+        with pytest.raises(SanitizerError) as ei:
+            san.check_iter(0, 150.0, 200.0)
+        assert ei.value.check == "tu_cycle_monotonic"
+        assert ei.value.cycle == 150.0
+
+    def test_region_clock_only_moves_forward(self):
+        san = Sanitizer()
+        san.check_clock(500.0)
+        san.check_clock(500.0)  # standing still is allowed
+        with pytest.raises(SanitizerError, match="clock_monotonic"):
+            san.check_clock(499.0)
+
+    def test_float_rounding_noise_is_tolerated(self):
+        san = Sanitizer()
+        big = 1e12
+        san.check_clock(big)
+        san.check_clock(big - big * 1e-12)  # within relative tolerance
+        san.check_iter(0, 0.0, big)
+        san.check_iter(0, big - big * 1e-12, big * 2)
+
+
+class TestMemorySystemChecks:
+    ADDR = 0x4000
+
+    def test_wrong_thread_store_is_caught(self, tiny_l1, l1i_cfg, l2):
+        san, mem = sanitized_mem(SidecarKind.WEC, tiny_l1, l1i_cfg, l2)
+        san.enter_wrong(0, 5)
+        with pytest.raises(SanitizerError) as ei:
+            mem.store_correct(self.ADDR)
+        assert ei.value.check == "wrong_thread_store"
+
+    def test_clean_accesses_pass_and_count(self, tiny_l1, l1i_cfg, l2):
+        san, mem = sanitized_mem(SidecarKind.WEC, tiny_l1, l1i_cfg, l2)
+        mem.load_correct(self.ADDR)
+        mem.store_correct(self.ADDR)
+        mem.load_wrong(self.ADDR + 0x1000)
+        assert san.n_checks == 3
+
+    def test_wec_wrong_fill_into_l1_is_caught(self, tiny_l1, l1i_cfg, l2):
+        # A buggy wrong-load policy that installs into the L1D — exactly
+        # the pollution the WEC exists to prevent.
+        def buggy_load_wrong(addr):
+            mem.l1d.insert(addr >> mem.l1d.block_bits)
+            return 1.0
+
+        san, mem = sanitized_mem(
+            SidecarKind.WEC, tiny_l1, l1i_cfg, l2,
+            sabotage={"load_wrong": lambda addr: buggy_load_wrong(addr)},
+        )
+        with pytest.raises(SanitizerError) as ei:
+            mem.load_wrong(self.ADDR)
+        assert ei.value.check == "wec_wrong_fill_l1"
+
+    def test_wrong_load_creating_dirty_state_is_caught(
+        self, tiny_l1, l1i_cfg, l2
+    ):
+        # A buggy policy marking a wrong-execution fill dirty would let
+        # speculation write architectural state.
+        def buggy_load_wrong(addr):
+            mem.sidecar.insert(addr >> mem.l1d.block_bits, DIRTY)
+            return 1.0
+
+        san, mem = sanitized_mem(
+            SidecarKind.WEC, tiny_l1, l1i_cfg, l2,
+            sabotage={"load_wrong": lambda addr: buggy_load_wrong(addr)},
+        )
+        with pytest.raises(SanitizerError) as ei:
+            mem.load_wrong(self.ADDR)
+        assert ei.value.check == "wrong_load_writes_state"
+
+    def test_l1_sidecar_exclusivity_is_caught(self, tiny_l1, l1i_cfg, l2):
+        # A buggy correct-load filling both structures at once.
+        def buggy_load_correct(addr):
+            block = addr >> mem.l1d.block_bits
+            mem.l1d.insert(block)
+            mem.sidecar.insert(block)
+            return 1.0
+
+        san, mem = sanitized_mem(
+            SidecarKind.VICTIM, tiny_l1, l1i_cfg, l2,
+            sabotage={"load_correct": lambda addr: buggy_load_correct(addr)},
+        )
+        with pytest.raises(SanitizerError) as ei:
+            mem.load_correct(self.ADDR)
+        assert ei.value.check == "l1_sidecar_exclusive"
+
+
+class TestEndToEndInjection:
+    def test_wrong_thread_writeback_trips_in_full_run(self, monkeypatch):
+        """The ISSUE's (b): an injected write-back from a wrong thread."""
+        original = ThreadUnit.run_wrong_thread
+
+        def evil(self, region, start_iter, tracegen):
+            n = original(self, region, start_iter, tracegen)
+            # The wrong thread is done and aborted — now make it store
+            # through the correct-path port anyway.
+            if self._san is not None:
+                self._san.enter_wrong(self.tu_id, start_iter)
+                self.mem.store_correct(0x80)
+            return n
+
+        monkeypatch.setattr(ThreadUnit, "run_wrong_thread", evil)
+        with pytest.raises(SanitizerError) as ei:
+            run("wth-wp-wec", sanitizer=Sanitizer())
+        assert ei.value.check == "wrong_thread_store"
+        assert "cycle" in str(ei.value)
+
+
+# ---------------------------------------------------------------------------
+# (c) sanitized runs are bit-identical
+# ---------------------------------------------------------------------------
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", ["wth-wp-wec", "wth-wp-vc", "orig"])
+    def test_sanitized_equals_unsanitized(self, name):
+        plain = run(name)
+        san = Sanitizer()
+        checked = run(name, sanitizer=san)
+        assert san.n_checks > 0
+        assert checked.to_dict() == plain.to_dict()
