@@ -9,13 +9,16 @@
 #                     BENCH_smoke.json behind
 #   make perf-gate    bench-smoke + regression check vs the committed
 #                     baseline (benchmarks/BENCH_baseline.json)
+#   make explain-smoke  attribution layer end-to-end at tiny scale:
+#                     repro explain on the fig11 WEC-vs-plain pair
+#                     (docs/OBSERVABILITY.md, "Attribution")
 #   make bench        full figure/table regeneration at calibrated scale
 #   make calibrate    calibration dashboard (cached, parallel)
 
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke perf-gate calibrate
+.PHONY: test lint bench bench-smoke explain-smoke perf-gate calibrate
 
 test:
 	$(PY) -m pytest -x -q
@@ -29,6 +32,10 @@ bench-smoke:
 	REPRO_PERF_DIR=.perf-smoke \
 	$(PY) -m pytest benchmarks/bench_fig11_configs.py --benchmark-only -q
 	$(PY) -m repro perf report --dir .perf-smoke --json BENCH_smoke.json
+
+explain-smoke:
+	$(PY) -m repro explain 181.mcf wth-wp-wec --vs wth-wp \
+	--scale 5e-5 --seed 7 --top 3
 
 perf-gate: bench-smoke
 	$(PY) -m repro perf compare benchmarks/BENCH_baseline.json \

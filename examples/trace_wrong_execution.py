@@ -5,9 +5,11 @@ The paper's central claim (§1, Figure 5) is that loads issued down
 mispredicted paths and by wrong threads act as *prefetches*: they pull
 blocks toward the processor early, so the correct path finds them
 resident later.  This script makes that mechanism visible on one traced
-``181.mcf`` run: it pairs every wrong-execution fill with the first
-correct-path use of the same block out of the WEC and reports the cycle
-gap between them — the slack the "prefetch" bought.
+``181.mcf`` run using the provenance-attribution layer
+(:mod:`repro.obs.attrib`): every wrong-execution fill is tracked from
+insertion to its first correct-path use, and the cycle gap between them
+— the slack the "prefetch" bought — lands in the per-source timeliness
+histograms that ``repro explain`` renders.
 
 Run:  python examples/trace_wrong_execution.py         (default scale)
       python examples/trace_wrong_execution.py 1e-4    (custom scale)
@@ -16,8 +18,14 @@ Run:  python examples/trace_wrong_execution.py         (default scale)
 import sys
 
 from repro import SimParams, named_config, run_simulation
-from repro.mem.cache import WRONG
-from repro.obs.events import CAT_MEM, CAT_WEC, WEC_HIT, WRONG_FILL
+from repro.obs.attrib import (
+    AttributionCollector,
+    PROV_NAMES,
+    PROV_WRONG_PATH,
+    PROV_WRONG_THREAD,
+    hist_lines,
+)
+from repro.obs.events import CAT_ATTRIB, CAT_MEM, CAT_WEC
 from repro.obs.export import write_chrome_trace
 from repro.obs.tracer import RingBufferTracer
 
@@ -29,62 +37,52 @@ def main() -> int:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 2e-4
     params = SimParams(seed=2003, scale=scale)
 
-    # Record only the memory and sidecar categories: that keeps the ring
-    # small while capturing every wrong fill and every WEC hit.
+    # Record only the memory, sidecar and attribution categories: that
+    # keeps the ring small while capturing every wrong fill, every WEC
+    # hit and every settled attribution (first use / pollution charge).
     tracer = RingBufferTracer(
-        capacity=1 << 20, categories=(CAT_MEM, CAT_WEC)
+        capacity=1 << 20, categories=(CAT_MEM, CAT_WEC, CAT_ATTRIB)
     )
-    result = run_simulation(BENCH, named_config(CONFIG), params, tracer=tracer)
+    attrib = AttributionCollector(tracer=tracer)
+    result = run_simulation(BENCH, named_config(CONFIG), params,
+                            tracer=tracer, attrib=attrib)
     events = tracer.events()
 
-    # Pair each wrong-execution fill with the first correct-path WEC hit
-    # on the same block that still carried the WRONG flag (i.e. the hit
-    # that "used" the prefetch — the flag is cleared on promotion).
-    pending = {}  # block -> fill cycle
-    gaps = []
-    for ev in events:
-        if ev.kind == WRONG_FILL:
-            pending.setdefault(ev.a, ev.cycle)
-        elif ev.kind == WEC_HIT and ev.b & WRONG and ev.a in pending:
-            gaps.append(ev.cycle - pending.pop(ev.a))
-    unused = len(pending)
+    # The collector already paired each wrong-execution fill with the
+    # first correct-path use of the same block (the WEC hit that cleared
+    # the WRONG flag) and classified the leftovers.
+    per_source = result.attribution["per_source"]
+    wrong = result.attribution["wrong"]
+    n_fills = wrong["fills"]
 
-    n_fills = len(gaps) + unused
     print(f"{BENCH} on {CONFIG}: {result.total_cycles:.0f} cycles, "
           f"{len(events)} events traced")
     print(f"wrong-execution fills : {n_fills}")
-    if not gaps:
+    if not wrong["useful"]:
         print("no wrong-execution fill was used by the correct path "
               "(try a larger scale)")
         return 1
-    gaps.sort()
-    used_pct = 100.0 * len(gaps) / n_fills
-    print(f"used by correct path  : {len(gaps)} ({used_pct:.0f}%); "
-          f"{unused} never referenced (pollution the WEC absorbed)")
-    print(f"fill -> first-use gap : median {gaps[len(gaps) // 2]:.0f} cycles, "
-          f"p10 {gaps[len(gaps) // 10]:.0f}, "
-          f"p90 {gaps[(len(gaps) * 9) // 10]:.0f}")
+    used_pct = 100.0 * wrong["useful"] / n_fills if n_fills else 0.0
+    absorbed = sum(
+        per_source[PROV_NAMES[p]]["unused"] + per_source[PROV_NAMES[p]]["open"]
+        for p in (PROV_WRONG_PATH, PROV_WRONG_THREAD)
+    )
+    print(f"used by correct path  : {wrong['useful']} ({used_pct:.0f}%); "
+          f"{absorbed} never referenced (pollution the WEC absorbed)")
+    print(f"pollution charged     : {wrong['pollution_misses']} demand "
+          f"misses ({wrong['polluting_mpki']:.2f} MPKI)")
     print("(replay events are stamped with their iteration's start cycle, "
           "so a gap of 0 means fill and use in the same iteration)")
 
-    # A tiny log-bucketed histogram of the gaps.
-    buckets = [(64, 0), (256, 0), (1024, 0), (4096, 0), (float("inf"), 0)]
-    for g in gaps:
-        for i, (limit, _) in enumerate(buckets):
-            if g <= limit:
-                buckets[i] = (limit, buckets[i][1] + 1)
-                break
-    width = max(n for _, n in buckets) or 1
     print("\ngap distribution (cycles until the correct path arrived):")
-    lo = 0
-    for limit, n in buckets:
-        label = f"{lo:>5}-{limit:<5.0f}" if limit != float("inf") else f"{lo:>5}+     "
-        bar = "#" * max(1, round(40 * n / width)) if n else ""
-        print(f"  {label} {n:>6}  {bar}")
-        lo = int(limit) if limit != float("inf") else lo
+    for p in (PROV_WRONG_PATH, PROV_WRONG_THREAD):
+        for line in hist_lines(PROV_NAMES[p],
+                               per_source[PROV_NAMES[p]]["gap_hist"]):
+            print(line)
 
     out = write_chrome_trace(events, "wrong_execution_trace.json",
-                             label=f"{BENCH} on {CONFIG}")
+                             label=f"{BENCH} on {CONFIG}",
+                             attrib_series=attrib.series())
     print(f"\nfull trace written to {out} (open in https://ui.perfetto.dev)")
     return 0
 

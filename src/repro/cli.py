@@ -15,6 +15,11 @@ Commands
 ``trace``
     Simulate one benchmark/config pair with event tracing on and write
     a Perfetto-loadable Chrome trace (see ``docs/OBSERVABILITY.md``).
+``explain``
+    Simulate one benchmark/config pair with the provenance-attribution
+    collector attached and render where every speculative fill came
+    from and what it bought (coverage, accuracy, timeliness,
+    pollution); ``--vs CONFIG`` diffs two configs A/B-style.
 ``perf record | compare | report``
     The performance observatory: append profiled runs to the persistent
     ledger (``$REPRO_PERF_DIR``, default ``.perf``), compare two record
@@ -32,6 +37,7 @@ Examples
     python -m repro compare --benchmark equake --configs vc,wth-wp,wth-wp-wec,nlp
     python -m repro suite --config wth-wp-wec --scale 1e-4 --jobs 4
     python -m repro trace 181.mcf wth-wp-wec --out trace.json
+    python -m repro explain 181.mcf wth-wp-wec --vs wth-wp --top 5
     python -m repro perf record 181.mcf wth-wp-wec --repeat 4 --label before
     python -m repro perf compare before after --threshold 10%
     python -m repro perf report --json BENCH_smoke.json
@@ -77,6 +83,11 @@ from .common.errors import (
 from .lint.engine import lint_paths, write_baseline
 from .lint.rules import RULES
 from .lint.sanitize import ENV_VAR as SANITIZE_ENV_VAR
+from .obs.attrib import (
+    AttributionCollector,
+    explain_report,
+    explain_vs_report,
+)
 from .obs.compare import compare_records, parse_threshold
 from .obs.events import CATEGORIES
 from .obs.export import write_chrome_trace, write_jsonl
@@ -184,7 +195,39 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--seed", type=int, default=2003)
     trace_p.add_argument("--tus", type=int, default=8,
                          help="number of thread units (default 8)")
+    trace_p.add_argument("--attrib", action="store_true",
+                         help="attach the provenance-attribution collector "
+                              "too: adds attrib_use/attrib_pollute events "
+                              "and the attribution counter tracks to the "
+                              "Perfetto trace")
     add_sanitize(trace_p)
+
+    exp_p = sub.add_parser(
+        "explain",
+        help="attribute speculative fills by provenance (coverage, "
+             "accuracy, timeliness, pollution); --vs diffs two configs",
+    )
+    exp_p.add_argument("benchmark", help="benchmark name (see `repro list`)")
+    exp_p.add_argument("config", choices=CONFIG_NAMES)
+    exp_p.add_argument("--vs", default=None, metavar="CONFIG",
+                       choices=CONFIG_NAMES, dest="vs",
+                       help="also run CONFIG on the same workload and "
+                            "render an A/B attribution delta")
+    exp_p.add_argument("--top", type=int, default=5, metavar="N",
+                       help="rows in the per-region / per-PC top tables "
+                            "(default 5)")
+    exp_p.add_argument("--format", choices=["text", "json"], default="text",
+                       help="output format (default text); json dumps the "
+                            "raw attribution summaries")
+    exp_p.add_argument("--scale", type=float, default=2e-4,
+                       help="instruction scale vs Table 2 (default 2e-4)")
+    exp_p.add_argument("--seed", type=int, default=2003)
+    exp_p.add_argument("--tus", type=int, default=8,
+                       help="number of thread units (default 8)")
+    exp_p.add_argument("--window", type=float, default=4096.0, metavar="N",
+                       help="attribution series window in cycles "
+                            "(default 4096)")
+    add_sanitize(exp_p)
 
     lint_p = sub.add_parser(
         "lint",
@@ -427,9 +470,13 @@ def _cmd_trace(args) -> int:
     )
     params = SimParams(seed=args.seed, scale=args.scale)
     cfg = named_config(args.config, n_tus=args.tus)
+    attrib = None
+    if args.attrib:
+        attrib = AttributionCollector(window=args.window, tracer=tracer)
     # Traced runs bypass the result cache: the cached artifact is the
     # SimResult, not the event stream, and tracing does not change it.
-    result = run_simulation(args.benchmark, cfg, params, tracer=tracer)
+    result = run_simulation(args.benchmark, cfg, params, tracer=tracer,
+                            attrib=attrib)
     events = tracer.events()
     out = write_chrome_trace(
         events,
@@ -437,6 +484,7 @@ def _cmd_trace(args) -> int:
         interval_series=result.interval_series,
         label=f"{args.benchmark} on {args.config} ({args.tus} TUs, "
               f"scale {args.scale:g}, seed {args.seed})",
+        attrib_series=attrib.series() if attrib is not None else None,
     )
     print(f"result : {result.total_cycles:.0f} cycles, ipc={result.ipc:.2f}")
     print(f"trace  : {len(events)} events -> {out} "
@@ -447,6 +495,44 @@ def _cmd_trace(args) -> int:
     if args.jsonl:
         path = write_jsonl(events, args.jsonl)
         print(f"jsonl  : {path}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    params = SimParams(seed=args.seed, scale=args.scale)
+    # One prebuilt program reused across both runs (and the same seed /
+    # scale), so the A/B delta is attributable to the config alone.
+    program = build_benchmark(args.benchmark, scale=args.scale)
+
+    def attributed_run(config_name: str):
+        # Attributed runs bypass the result cache for the same reason
+        # traced runs do: the artifact of interest is the attribution
+        # summary, which the cache does not store — and attribution
+        # never changes the SimResult itself (test-enforced).
+        attrib = AttributionCollector(window=args.window)
+        cfg = named_config(config_name, n_tus=args.tus)
+        return run_program(program, cfg, params, attrib=attrib)
+
+    result = attributed_run(args.config)
+    other = attributed_run(args.vs) if args.vs else None
+    if args.format == "json":
+        doc = {
+            "benchmark": args.benchmark,
+            "config": args.config,
+            "n_tus": args.tus,
+            "seed": args.seed,
+            "scale": args.scale,
+            "attribution": result.attribution,
+        }
+        if other is not None:
+            doc["vs"] = {"config": args.vs,
+                         "attribution": other.attribution}
+        print(json.dumps(doc, indent=2))
+        return 0
+    if other is not None:
+        print(explain_vs_report(result, other, top=args.top))
+    else:
+        print(explain_report(result, top=args.top))
     return 0
 
 
@@ -652,6 +738,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_suite(args)
         if args.command == "trace":
             return _checked("trace", lambda: _cmd_trace(args))
+        if args.command == "explain":
+            return _checked("explain", lambda: _cmd_explain(args))
         if args.command == "lint":
             return _checked("lint", lambda: _cmd_lint(args))
         if args.command == "perf":

@@ -23,6 +23,7 @@ from ..isa.encoding import EV_BRANCH, EV_LOAD, EV_TSTORE, IterationTrace, StageS
 from ..mem.coherence import UpdateBus
 from ..mem.hierarchy import TUMemSystem
 from ..mem.l2 import SharedL2
+from ..obs.attrib import PROV_WRONG_PATH, PROV_WRONG_THREAD
 from ..obs.events import (
     CAT_MEM,
     CAT_THREAD,
@@ -62,6 +63,7 @@ class ThreadUnit:
         "_obs_mem",
         "_prof",
         "_san",
+        "_attrib",
     )
 
     def __init__(
@@ -73,6 +75,7 @@ class ThreadUnit:
         tracer=None,
         profiler=None,
         sanitizer=None,
+        attrib=None,
     ) -> None:
         tu = machine_cfg.tu
         self.tu_id = tu_id
@@ -85,12 +88,15 @@ class ThreadUnit:
         self._prof = profiler
         #: Runtime invariant checker (None → unsanitized, zero cost).
         self._san = sanitizer
+        #: Block-provenance collector (None → unattributed, zero cost).
+        self._attrib = attrib if attrib is not None and attrib.enabled else None
         self.mem = TUMemSystem(
             tu_id, tu.l1d, tu.l1i, tu.sidecar, l2,
             prefetch_late_cycles=params.prefetch_late_cycles,
             prefetch_late_far_cycles=params.prefetch_late_far_cycles,
             tracer=tracer,
             sanitizer=sanitizer,
+            attrib=attrib,
         )
         # Wrong-execution fills that install into the L1 occupy its fill
         # port and MSHRs for their full fill latency; the WEC has a
@@ -227,6 +233,11 @@ class ThreadUnit:
                         obs_m = self._obs_mem
                         if obs_t is not None:
                             obs_t.emit(WP_ENTER, self.tu_id, value)
+                        if self._attrib is not None:
+                            # Subsequent wrong fills are this branch's.
+                            self._attrib.set_wrong_context(
+                                PROV_WRONG_PATH, value
+                            )
                         burst = 0
                         for a in tracegen.wrong_path_addrs(
                             region, trace, idx, index, future_loads=future_loads
@@ -312,6 +323,8 @@ class ThreadUnit:
         t0 = perf_counter() if prof is not None else 0.0  # lint: allow(DET001 host profiling only)
         if obs_t is not None:
             obs_t.emit(THREAD_ABORT, self.tu_id, start_iter)
+        if self._attrib is not None:
+            self._attrib.set_wrong_context(PROV_WRONG_THREAD)
         n = 0
         n_tus = self.cfg.n_thread_units
         for round_ in range(region.wrong_exec.wth_max_iters):

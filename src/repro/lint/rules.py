@@ -158,6 +158,13 @@ RULES: Tuple[Rule, ...] = (
         "kinds.",
     ),
     Rule(
+        "OBS002",
+        "attribution calls use PROV_* constants",
+        "set_wrong_context(...)/on_prefetch_fill(...) with a literal "
+        "provenance bypasses the shared enum in obs/attrib.py; reports "
+        "and the explain CLI only understand registered provenances.",
+    ),
+    Rule(
         "EXC001",
         "no blanket exception handlers",
         "bare except / except Exception hides simulator bugs as silent "
@@ -170,6 +177,13 @@ RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
 
 
 # --- canonical names matched by the determinism rules ---------------------
+
+#: AttributionCollector methods taking a provenance tag (OBS002), with
+#: the positional index of that argument at the call site.
+_PROV_ARG_METHODS: Dict[str, int] = {
+    "set_wrong_context": 0,
+    "on_prefetch_fill": 3,
+}
 
 _WALLCLOCK = frozenset(
     {
@@ -388,6 +402,25 @@ class _Checker(ast.NodeVisitor):
                     node,
                     "emit(...) with a literal kind bypasses the typed event "
                     "schema; use an EventKind constant from repro.obs.events",
+                )
+
+        if isinstance(func, ast.Attribute) and func.attr in _PROV_ARG_METHODS:
+            pos = _PROV_ARG_METHODS[func.attr]
+            prov_arg: Optional[ast.expr] = (
+                node.args[pos] if len(node.args) > pos else None
+            )
+            if prov_arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "prov":
+                        prov_arg = kw.value
+                        break
+            if isinstance(prov_arg, ast.Constant):
+                self._report(
+                    "OBS002",
+                    node,
+                    f"{func.attr}(...) with a literal provenance bypasses "
+                    "the shared enum; use a PROV_* constant from "
+                    "repro.obs.attrib",
                 )
 
         if (

@@ -8,8 +8,10 @@ This single structure backs all three sidecars the paper compares:
 * the **prefetch buffer** of tagged next-line prefetching in ``nlp``.
 
 What differs between those is the *policy* layered on top (see
-:mod:`repro.mem.sidecars`); the storage semantics — fully associative,
-true LRU, a handful of entries — are identical.
+:mod:`repro.mem.hierarchy`); the storage semantics — fully associative,
+true LRU, a handful of entries — are identical.  When attribution is
+enabled (:mod:`repro.obs.attrib`), the hierarchy tags every insert
+with its provenance; this buffer stays provenance-agnostic.
 """
 
 from __future__ import annotations

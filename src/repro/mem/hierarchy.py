@@ -37,6 +37,7 @@ from typing import Callable, Optional
 from ..common.config import CacheConfig, SidecarConfig, SidecarKind
 from ..common.errors import ConfigError
 from ..common.stats import CounterGroup
+from ..obs.attrib import PROV_NLP, PROV_STREAM
 from ..obs.events import (
     CAT_MEM,
     CAT_WEC,
@@ -76,6 +77,7 @@ class TUMemSystem:
         "stream_detector",
         "_obs",
         "_obs_wec",
+        "_attrib",
     )
 
     def __init__(
@@ -89,6 +91,7 @@ class TUMemSystem:
         prefetch_late_far_cycles: float = 150.0,
         tracer=None,
         sanitizer=None,
+        attrib=None,
     ) -> None:
         self.tu_id = tu_id
         self.prefetch_late_cycles = prefetch_late_cycles
@@ -104,6 +107,7 @@ class TUMemSystem:
         live = tracer is not None and tracer.enabled
         self._obs = tracer if live and tracer.wants(CAT_MEM) else None
         self._obs_wec = tracer if live and tracer.wants(CAT_WEC) else None
+        self._attrib = attrib if attrib is not None and attrib.enabled else None
         self.l1d.attach_tracer(tracer, tu_id)
         if sidecar_cfg.kind is SidecarKind.NONE:
             self.sidecar: Optional[FullyAssocBuffer] = None
@@ -162,13 +166,23 @@ class TUMemSystem:
         block, flags = evicted
         self.stats.counter("victims_to_sidecar").add()
         assert self.sidecar is not None
+        att = self._attrib
+        if att is not None:
+            att.on_demote(self.tu_id, block)
         bumped = self.sidecar.insert(block, flags)
-        if bumped is not None and bumped[1] & DIRTY:
-            self._writeback(bumped[0])
+        if bumped is not None:
+            if att is not None:
+                att.on_evict(self.tu_id, bumped[0], from_sidecar=True)
+            if bumped[1] & DIRTY:
+                self._writeback(bumped[0])
 
     def _evict_to_l2(self, evicted: Optional[tuple]) -> None:
         """Drop an L1 victim, writing it back if dirty."""
-        if evicted is not None and evicted[1] & DIRTY:
+        if evicted is None:
+            return
+        if self._attrib is not None:
+            self._attrib.on_evict(self.tu_id, evicted[0])
+        if evicted[1] & DIRTY:
             self._writeback(evicted[0])
 
     def _fill_from_l2(self, block: int, wrong: bool = False, prefetch: bool = False) -> int:
@@ -188,12 +202,18 @@ class TUMemSystem:
         latency = self._fill_from_l2(target, prefetch=True)
         if self._obs_wec is not None:
             self._obs_wec.emit(WEC_NLP, self.tu_id, target, latency)
+        att = self._attrib
+        if att is not None:
+            att.on_prefetch_fill(self.tu_id, target, latency, PROV_NLP)
         flags = PREFETCHED
         if latency > self.l2.cfg.l2.hit_latency:
             flags |= PF_FAR
         bumped = self.sidecar.insert(target, flags)
-        if bumped is not None and bumped[1] & DIRTY:
-            self._writeback(bumped[0])
+        if bumped is not None:
+            if att is not None:
+                att.on_evict(self.tu_id, bumped[0], from_sidecar=True)
+            if bumped[1] & DIRTY:
+                self._writeback(bumped[0])
 
     def _count_usefulness(self, block: int, flags: int) -> None:
         """Attribute a correct-path sidecar hit to wrong execution / prefetching."""
@@ -223,11 +243,14 @@ class TUMemSystem:
 
     def _load_correct_wec(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("loads").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if att is not None:
+                att.on_use(self.tu_id, block)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
         if self._obs is not None:
@@ -241,6 +264,8 @@ class TUMemSystem:
             stats.counter("sidecar_hits").add()
             stats.counter("wec_promotions").add()
             self._count_usefulness(block, sflags)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_sidecar(evicted)
@@ -255,17 +280,22 @@ class TUMemSystem:
         # the WEC (victim caching).
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, 0)
         self._evict_to_sidecar(evicted)
         return HIT_LATENCY + latency
 
     def _store_correct_wec(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("stores").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if att is not None:
+                att.on_use(self.tu_id, block)
             if not flags & DIRTY:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
@@ -277,12 +307,16 @@ class TUMemSystem:
         if sflags is not None:
             stats.counter("sidecar_hits").add()
             self._count_usefulness(block, sflags)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, DIRTY)
             self._evict_to_sidecar(evicted)
             return HIT_LATENCY
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, DIRTY)
         self._evict_to_sidecar(evicted)
         return HIT_LATENCY + latency
@@ -301,9 +335,15 @@ class TUMemSystem:
         # Fill the WEC only — never the L1 (pollution elimination).
         stats.counter("wrong_fills").add()
         latency = self._fill_from_l2(block, wrong=True)
+        att = self._attrib
+        if att is not None:
+            att.on_wrong_fill(self.tu_id, block, latency)
         bumped = self.sidecar.insert(block, WRONG)
-        if bumped is not None and bumped[1] & DIRTY:
-            self._writeback(bumped[0])
+        if bumped is not None:
+            if att is not None:
+                att.on_evict(self.tu_id, bumped[0], from_sidecar=True)
+            if bumped[1] & DIRTY:
+                self._writeback(bumped[0])
         return HIT_LATENCY + latency
 
     # ------------------------------------------------------------------
@@ -312,11 +352,19 @@ class TUMemSystem:
 
     def _load_correct_vc(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("loads").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if flags & WRONG:
+                # Wrong loads fill the L1 under vc: first correct touch
+                # settles their usefulness (mirrors the plain path).
+                stats.counter("useful_wrong_hits").add()
+                self.l1d.clear_flags(block, WRONG)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
         if self._obs is not None:
@@ -326,23 +374,30 @@ class TUMemSystem:
         if sflags is not None:
             stats.counter("sidecar_hits").add()
             self._count_usefulness(block, sflags)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_sidecar(evicted)
             return HIT_LATENCY
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, 0)
         self._evict_to_sidecar(evicted)
         return HIT_LATENCY + latency
 
     def _store_correct_vc(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("stores").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if att is not None:
+                att.on_use(self.tu_id, block)
             if not flags & DIRTY:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
@@ -353,12 +408,17 @@ class TUMemSystem:
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             stats.counter("sidecar_hits").add()
+            self._count_usefulness(block, sflags)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, DIRTY)
             self._evict_to_sidecar(evicted)
             return HIT_LATENCY
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, DIRTY)
         self._evict_to_sidecar(evicted)
         return HIT_LATENCY + latency
@@ -377,15 +437,23 @@ class TUMemSystem:
             stats.counter("wrong_l1_hits").add()
             return HIT_LATENCY
         assert self.sidecar is not None
+        att = self._attrib
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             stats.counter("wrong_sidecar_hits").add()
+            if att is not None:
+                att.on_wrong_promote(self.tu_id, block)
             self.sidecar.remove(block)
-            evicted = self.l1d.insert(block, sflags & DIRTY)
+            # Mark the promotion WRONG (as the nlp path does): the block
+            # owes its L1 residency to wrong execution, so its first
+            # correct touch settles the usefulness question.
+            evicted = self.l1d.insert(block, (sflags & DIRTY) | WRONG)
             self._evict_to_sidecar(evicted)
             return HIT_LATENCY
         stats.counter("wrong_fills").add()
         latency = self._fill_from_l2(block, wrong=True)
+        if att is not None:
+            att.on_wrong_fill(self.tu_id, block, latency)
         evicted = self.l1d.insert(block, WRONG)
         self._evict_to_sidecar(evicted)
         return HIT_LATENCY + latency
@@ -396,11 +464,19 @@ class TUMemSystem:
 
     def _load_correct_nlp(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("loads").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if flags & WRONG:
+                # Wrong loads fill (or promote into) the L1 under nlp:
+                # settle their usefulness on first correct touch.
+                stats.counter("useful_wrong_hits").add()
+                self.l1d.clear_flags(block, WRONG)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             if flags & PREFETCHED:
                 # First demand touch of a prefetched block: re-arm.
                 late = self._late_charge(flags)
@@ -419,6 +495,8 @@ class TUMemSystem:
             # promote it and prefetch the next line (tagged prefetching).
             stats.counter("sidecar_hits").add()
             self._count_usefulness(block, sflags)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_l2(evicted)
@@ -428,6 +506,8 @@ class TUMemSystem:
             )
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, 0)
         self._evict_to_l2(evicted)
         # Prefetch on miss (Smith/Hsu tagged prefetching).
@@ -436,11 +516,14 @@ class TUMemSystem:
 
     def _store_correct_nlp(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("stores").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if att is not None:
+                att.on_use(self.tu_id, block)
             if not flags & DIRTY:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
@@ -451,12 +534,17 @@ class TUMemSystem:
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             stats.counter("sidecar_hits").add()
+            self._count_usefulness(block, sflags)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, DIRTY)
             self._evict_to_l2(evicted)
             return HIT_LATENCY
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, DIRTY)
         self._evict_to_l2(evicted)
         return HIT_LATENCY + latency
@@ -474,15 +562,22 @@ class TUMemSystem:
         latency = self._fill_from_l2(target, prefetch=True)
         if self._obs_wec is not None:
             self._obs_wec.emit(WEC_NLP, self.tu_id, target, latency)
+        att = self._attrib
+        if att is not None:
+            att.on_prefetch_fill(self.tu_id, target, latency, PROV_STREAM)
         flags = PREFETCHED
         if latency > self.l2.cfg.l2.hit_latency:
             flags |= PF_FAR
         bumped = self.sidecar.insert(target, flags)
-        if bumped is not None and bumped[1] & DIRTY:
-            self._writeback(bumped[0])
+        if bumped is not None:
+            if att is not None:
+                att.on_evict(self.tu_id, bumped[0], from_sidecar=True)
+            if bumped[1] & DIRTY:
+                self._writeback(bumped[0])
 
     def _load_correct_stream(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("loads").add()
         block = addr >> self.l1d.block_bits
         detector = self.stream_detector
@@ -490,6 +585,13 @@ class TUMemSystem:
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if flags & WRONG:
+                # Wrong loads fill the L1 under stream (shared nlp wrong
+                # path): settle usefulness on first correct touch.
+                stats.counter("useful_wrong_hits").add()
+                self.l1d.clear_flags(block, WRONG)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             if flags & PREFETCHED:
                 late = self._late_charge(flags)
                 self.l1d.clear_flags(block, PREFETCHED | PF_FAR)
@@ -505,6 +607,8 @@ class TUMemSystem:
         if sflags is not None:
             stats.counter("sidecar_hits").add()
             self._count_usefulness(block, sflags)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, sflags & DIRTY)
             self._evict_to_l2(evicted)
@@ -515,6 +619,8 @@ class TUMemSystem:
             )
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, 0)
         self._evict_to_l2(evicted)
         for target in detector.on_demand_miss(block):
@@ -527,6 +633,7 @@ class TUMemSystem:
 
     def _load_correct_plain(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("loads").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
@@ -535,23 +642,30 @@ class TUMemSystem:
             if flags & WRONG:
                 stats.counter("useful_wrong_hits").add()
                 self.l1d.clear_flags(block, WRONG)
+            if att is not None:
+                att.on_use(self.tu_id, block)
             return HIT_LATENCY
         stats.counter("l1_misses").add()
         if self._obs is not None:
             self._obs.emit(L1_MISS, self.tu_id, block)
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, 0)
         self._evict_to_l2(evicted)
         return HIT_LATENCY + latency
 
     def _store_correct_plain(self, addr: int) -> int:
         stats = self.stats
+        att = self._attrib
         stats.counter("stores").add()
         block = addr >> self.l1d.block_bits
         flags = self.l1d.lookup(block)
         if flags is not None:
             stats.counter("l1_hits").add()
+            if att is not None:
+                att.on_use(self.tu_id, block)
             if not flags & DIRTY:
                 self.l1d.or_flags(block, DIRTY)
             return HIT_LATENCY
@@ -560,6 +674,8 @@ class TUMemSystem:
             self._obs.emit(L1_MISS, self.tu_id, block, 1)
         stats.counter("demand_fills").add()
         latency = self._fill_from_l2(block)
+        if att is not None:
+            att.on_demand_fill(self.tu_id, block)
         evicted = self.l1d.insert(block, DIRTY)
         self._evict_to_l2(evicted)
         return HIT_LATENCY + latency
@@ -573,6 +689,7 @@ class TUMemSystem:
         double-allocated, preserving L1/sidecar exclusivity.
         """
         stats = self.stats
+        att = self._attrib
         stats.counter("wrong_loads").add()
         block = addr >> self.l1d.block_bits
         if self.l1d.lookup(block) is not None:
@@ -582,12 +699,16 @@ class TUMemSystem:
         sflags = self.sidecar.probe(block)
         if sflags is not None:
             stats.counter("wrong_sidecar_hits").add()
+            if att is not None:
+                att.on_wrong_promote(self.tu_id, block)
             self.sidecar.remove(block)
             evicted = self.l1d.insert(block, (sflags & DIRTY) | WRONG)
             self._evict_to_l2(evicted)
             return HIT_LATENCY
         stats.counter("wrong_fills").add()
         latency = self._fill_from_l2(block, wrong=True)
+        if att is not None:
+            att.on_wrong_fill(self.tu_id, block, latency)
         evicted = self.l1d.insert(block, WRONG)
         self._evict_to_l2(evicted)
         return HIT_LATENCY + latency
@@ -595,6 +716,7 @@ class TUMemSystem:
     def _load_wrong_plain(self, addr: int) -> int:
         """Wrong-execution load with no sidecar: fills (and pollutes) the L1."""
         stats = self.stats
+        att = self._attrib
         stats.counter("wrong_loads").add()
         block = addr >> self.l1d.block_bits
         if self.l1d.lookup(block) is not None:
@@ -602,6 +724,8 @@ class TUMemSystem:
             return HIT_LATENCY
         stats.counter("wrong_fills").add()
         latency = self._fill_from_l2(block, wrong=True)
+        if att is not None:
+            att.on_wrong_fill(self.tu_id, block, latency)
         evicted = self.l1d.insert(block, WRONG)
         self._evict_to_l2(evicted)
         return HIT_LATENCY + latency

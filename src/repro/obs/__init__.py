@@ -34,10 +34,33 @@ suite rollups) and host-side self-profiling
 (:mod:`repro.obs.hostprof` — which simulator component the wall-clock
 went to).  CLI surface: ``repro perf record | compare | report``.
 
+**Provenance attribution** (:mod:`repro.obs.attrib`) is the third
+pillar: an :class:`AttributionCollector` tags every fill into the
+L1D / WEC / VC / prefetch sidecar with its provenance (correct demand,
+wrong-path, wrong-thread, next-line or stream prefetch, victim), tracks
+block lifetimes fill → first correct use → eviction, and classifies
+them useful / late / unused / polluting.  ``repro explain`` renders the
+summary; ``repro explain --vs`` diffs two configs.
+
 See ``docs/OBSERVABILITY.md`` for the event taxonomy, sampling
-semantics, the Perfetto how-to, and the performance-observatory guide.
+semantics, the Perfetto how-to, the performance-observatory guide and
+the attribution model.
 """
 
+from .attrib import (
+    AttributionCollector,
+    PROV_DEMAND,
+    PROV_NAMES,
+    PROV_NLP,
+    PROV_STREAM,
+    PROV_VICTIM,
+    PROV_WRONG_PATH,
+    PROV_WRONG_THREAD,
+    PROVENANCES,
+    attribution_delta,
+    explain_report,
+    explain_vs_report,
+)
 from .compare import (
     ComparisonReport,
     MetricComparison,
@@ -48,6 +71,7 @@ from .compare import (
     parse_threshold,
 )
 from .events import (
+    CAT_ATTRIB,
     CAT_BRANCH,
     CAT_MEM,
     CAT_REGION,
@@ -73,6 +97,19 @@ from .ledger import (
 from .tracer import IntervalMetrics, NullTracer, RingBufferTracer, Tracer
 
 __all__ = [
+    "AttributionCollector",
+    "PROV_DEMAND",
+    "PROV_NAMES",
+    "PROV_NLP",
+    "PROV_STREAM",
+    "PROV_VICTIM",
+    "PROV_WRONG_PATH",
+    "PROV_WRONG_THREAD",
+    "PROVENANCES",
+    "attribution_delta",
+    "explain_report",
+    "explain_vs_report",
+    "CAT_ATTRIB",
     "CAT_BRANCH",
     "CAT_MEM",
     "CAT_REGION",

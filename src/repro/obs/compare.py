@@ -82,6 +82,17 @@ METRICS: Tuple[MetricDef, ...] = (
               deterministic=True),
     MetricDef("speedup_pct", "sim", higher_is_better=True, deterministic=True,
               unit="%"),
+    # Attribution headlines (repro.obs.attrib); present only on runs that
+    # carried an AttributionCollector, absent otherwise — compare_records
+    # already skips metrics missing from either side.
+    MetricDef("wrong_coverage", "sim", higher_is_better=True,
+              deterministic=True),
+    MetricDef("wrong_accuracy", "sim", higher_is_better=True,
+              deterministic=True),
+    MetricDef("prefetch_accuracy", "sim", higher_is_better=True,
+              deterministic=True),
+    MetricDef("polluting_mpki", "sim", higher_is_better=False,
+              deterministic=True),
     MetricDef("wall_s", "host", higher_is_better=False, deterministic=False,
               unit="s"),
     MetricDef("events_per_sec", "host", higher_is_better=True,

@@ -16,7 +16,10 @@ The taxonomy follows the paper's mechanism inventory:
   L1 evictions;
 * **wec** — sidecar (WEC / VC / PB) inserts, correct-path hits and the
   chained next-line prefetches of §3.2.1;
-* **ring** — target-store value forwarding between adjacent TUs.
+* **ring** — target-store value forwarding between adjacent TUs;
+* **attrib** — block-provenance attribution instants emitted by
+  :class:`repro.obs.attrib.AttributionCollector` (first correct use of
+  a speculative fill, charged pollution misses).
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ __all__ = [
     "CAT_MEM",
     "CAT_WEC",
     "CAT_RING",
+    "CAT_ATTRIB",
     "CATEGORIES",
     "METRICS_CATEGORIES",
     "REGION_BEGIN",
@@ -54,6 +58,8 @@ __all__ = [
     "WRONG_LOAD",
     "WRONG_FILL",
     "RING_FORWARD",
+    "ATTRIB_USE",
+    "ATTRIB_POLLUTE",
     "KIND_NAMES",
     "KIND_CATEGORY",
     "event_to_dict",
@@ -86,9 +92,11 @@ CAT_BRANCH = "branch"
 CAT_MEM = "mem"
 CAT_WEC = "wec"
 CAT_RING = "ring"
+CAT_ATTRIB = "attrib"
 
 CATEGORIES: Tuple[str, ...] = (
     CAT_THREAD, CAT_REGION, CAT_BRANCH, CAT_MEM, CAT_WEC, CAT_RING,
+    CAT_ATTRIB,
 )
 
 #: Categories the :class:`~repro.obs.tracer.IntervalMetrics` collector
@@ -141,6 +149,10 @@ WRONG_LOAD = 19
 WRONG_FILL = 20
 #: Target-store values forwarded over the ring; a=value count, tu=receiver.
 RING_FORWARD = 21
+#: First correct-path use of a speculative fill; a=block, b=provenance.
+ATTRIB_USE = 22
+#: Correct-path miss charged to an earlier eviction; a=block, b=provenance.
+ATTRIB_POLLUTE = 23
 
 KIND_NAMES: Dict[int, str] = {
     REGION_BEGIN: "region_begin",
@@ -164,6 +176,8 @@ KIND_NAMES: Dict[int, str] = {
     WRONG_LOAD: "wrong_load",
     WRONG_FILL: "wrong_fill",
     RING_FORWARD: "ring_forward",
+    ATTRIB_USE: "attrib_use",
+    ATTRIB_POLLUTE: "attrib_pollute",
 }
 
 KIND_CATEGORY: Dict[int, str] = {
@@ -188,6 +202,8 @@ KIND_CATEGORY: Dict[int, str] = {
     WRONG_LOAD: CAT_MEM,
     WRONG_FILL: CAT_MEM,
     RING_FORWARD: CAT_RING,
+    ATTRIB_USE: CAT_ATTRIB,
+    ATTRIB_POLLUTE: CAT_ATTRIB,
 }
 
 

@@ -9,7 +9,11 @@ loads directly in Perfetto (https://ui.perfetto.dev) or
   iteration spans and the instant events that happened on that TU;
 * a **regions track** carrying one span per region invocation;
 * optional **counter tracks** built from an interval-metrics series
-  (IPC, L1 miss rate, WEC hit rate, wrong-load fraction).
+  (IPC, L1 miss rate, WEC hit rate, wrong-load fraction);
+* optional **attribution counter tracks** built from an
+  :meth:`~repro.obs.attrib.AttributionCollector.series` mapping
+  (speculative fills, useful speculative uses, pollution misses per
+  window).
 
 Simulated cycles are written 1:1 as trace microseconds (``ts``/``dur``),
 so "1 us" in the viewer reads as one cycle.
@@ -48,6 +52,14 @@ _COUNTER_TRACKS = (
     ("l1_miss_rate", "L1 miss rate"),
     ("wec_hit_rate", "WEC hit rate"),
     ("wrong_load_fraction", "wrong-load fraction"),
+)
+
+#: Counter-series keys exported from an attribution series
+#: (:meth:`AttributionCollector.series`), same scheme.
+_ATTRIB_TRACKS = (
+    ("spec_fills", "speculative fills"),
+    ("useful_spec_uses", "useful spec uses"),
+    ("pollution_misses", "pollution misses"),
 )
 
 
@@ -94,11 +106,15 @@ def chrome_trace(
     events: Iterable[Event],
     interval_series: Optional[Dict] = None,
     label: str = "",
+    attrib_series: Optional[Dict] = None,
 ) -> Dict:
     """Build a Chrome trace-event document from an event stream.
 
     ``interval_series`` (a :meth:`IntervalMetrics.series` mapping) adds
-    counter tracks; ``label`` is stored in ``otherData`` for provenance.
+    counter tracks; ``attrib_series`` (an
+    :meth:`AttributionCollector.series` mapping) adds the
+    provenance-attribution counters; ``label`` is stored in
+    ``otherData`` for provenance.
     """
     events = list(events)
     trace_events: List[Dict] = _metadata(
@@ -167,6 +183,22 @@ def chrome_trace(
                     }
                 )
 
+    if attrib_series:
+        starts = attrib_series.get("window_start", [])
+        for key, track in _ATTRIB_TRACKS:
+            values = attrib_series.get(key, [])
+            for ts, value in zip(starts, values):
+                trace_events.append(
+                    {
+                        "name": track,
+                        "cat": "attrib",
+                        "ph": "C",
+                        "pid": TRACE_PID,
+                        "ts": ts,
+                        "args": {track: round(value, 6)},
+                    }
+                )
+
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -184,13 +216,18 @@ def write_chrome_trace(
     path: Union[str, Path],
     interval_series: Optional[Dict] = None,
     label: str = "",
+    attrib_series: Optional[Dict] = None,
 ) -> Path:
     """Write :func:`chrome_trace` output to ``path``; returns the path."""
     path = Path(path)
     if path.parent != Path(""):
         path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace(events, interval_series, label), fh)
+        json.dump(
+            chrome_trace(events, interval_series, label,
+                         attrib_series=attrib_series),
+            fh,
+        )
     return path
 
 

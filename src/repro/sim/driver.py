@@ -39,6 +39,7 @@ def run_simulation(
     tracer=None,
     profiler=None,
     sanitizer=None,
+    attrib=None,
 ) -> SimResult:
     """Simulate ``benchmark`` (name or prebuilt program) on ``config``.
 
@@ -66,13 +67,21 @@ def run_simulation(
     stays out of hashed :class:`SimParams` and is read-only on sim
     state, so sanitized runs are bit-identical too.  Left ``None`` it is
     auto-created when ``REPRO_SANITIZE=1`` is set in the environment.
+
+    ``attrib`` is an optional
+    :class:`~repro.obs.attrib.AttributionCollector` tagging every fill
+    with its provenance and tracking block lifetimes (fill → first
+    correct use → eviction).  Same discipline as the tracer: out of
+    hashed params, read-only on sim state, bit-identical results; its
+    summary lands on :attr:`SimResult.attribution`.
     """
     if isinstance(benchmark, str):
         program = build_benchmark(benchmark, scale=params.scale)
     else:
         program = benchmark
     return run_program(program, config, params, tracer=tracer,
-                       profiler=profiler, sanitizer=sanitizer)
+                       profiler=profiler, sanitizer=sanitizer,
+                       attrib=attrib)
 
 
 def run_program(
@@ -82,6 +91,7 @@ def run_program(
     tracer=None,
     profiler=None,
     sanitizer=None,
+    attrib=None,
 ) -> SimResult:
     """Simulate a prebuilt :class:`Program` on ``config``."""
     sanitizer = maybe_sanitizer(sanitizer)
@@ -92,7 +102,8 @@ def run_program(
         # sections; the caller keeps its direct tracer reference.
         machine_tracer = profiler.wrap_tracer(tracer)
     machine = Machine(config, params, tracer=machine_tracer,
-                      profiler=profiler, sanitizer=sanitizer)
+                      profiler=profiler, sanitizer=sanitizer,
+                      attrib=attrib)
     tracegen = TraceGenerator(StreamFactory(params.seed))
     scheduler = Scheduler(machine, tracegen)
 
@@ -113,6 +124,8 @@ def run_program(
         if not stats_live and invocation >= warmup:
             # Warm-up complete: measure from warmed state.
             machine.reset_statistics()
+            if attrib is not None:
+                attrib.reset_measurement()
             stats_live = True
         t0 = perf_clock() if perf_clock is not None else 0.0
         if isinstance(region, ParallelRegionSpec):
@@ -177,4 +190,8 @@ def run_program(
         seed=params.seed,
         scale=params.scale,
         interval_series=interval_series,
+        attribution=(
+            attrib.summary(instructions=instructions)
+            if attrib is not None else None
+        ),
     )

@@ -54,6 +54,10 @@ class SimResult:
     #: Per-window metric series (``repro.obs.IntervalMetrics``); None
     #: unless the run was traced with an interval collector attached.
     interval_series: Optional[Dict] = None
+    #: Provenance/lifetime attribution summary
+    #: (``repro.obs.attrib.AttributionCollector.summary()``); None unless
+    #: the run carried an attribution collector.
+    attribution: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if self.total_cycles <= 0:
@@ -134,7 +138,7 @@ class SimResult:
         ``source == "sim"`` (``speedup_pct`` is added by the recorder
         when a baseline ran alongside).
         """
-        return {
+        out = {
             "total_cycles": float(self.total_cycles),
             "instructions": float(self.instructions),
             "ipc": self.ipc,
@@ -144,6 +148,20 @@ class SimResult:
             "mispredict_rate": self.mispredict_rate,
             "wrong_loads": float(self.wrong_loads),
         }
+        if self.attribution:
+            # Attributed runs additionally expose the prefetch-taxonomy
+            # headlines, so the ledger / `repro perf compare` can diff
+            # coverage, accuracy and pollution across configs.
+            metrics = self.attribution.get("metrics", {})
+            for key in (
+                "wrong_coverage",
+                "wrong_accuracy",
+                "prefetch_accuracy",
+                "polluting_mpki",
+            ):
+                if key in metrics:
+                    out[key] = float(metrics[key])
+        return out
 
     # -- serialization -----------------------------------------------------
 

@@ -25,7 +25,7 @@ class Machine:
 
     __slots__ = (
         "cfg", "params", "l2", "tus", "bus", "head_tu", "tracer", "profiler",
-        "sanitizer",
+        "sanitizer", "attrib",
     )
 
     def __init__(
@@ -35,6 +35,7 @@ class Machine:
         tracer=None,
         profiler=None,
         sanitizer=None,
+        attrib=None,
     ) -> None:
         self.cfg = cfg
         self.params = params
@@ -44,10 +45,12 @@ class Machine:
         self.profiler = profiler
         #: Runtime invariant checker (None → unsanitized, zero cost).
         self.sanitizer = sanitizer
+        #: Block-provenance collector (None → unattributed, zero cost).
+        self.attrib = attrib
         self.l2 = SharedL2(cfg.mem, tracer=tracer)
         self.tus: List[ThreadUnit] = [
             ThreadUnit(i, cfg, self.l2, params, tracer=tracer,
-                       profiler=profiler, sanitizer=sanitizer)
+                       profiler=profiler, sanitizer=sanitizer, attrib=attrib)
             for i in range(cfg.n_thread_units)
         ]
         self.bus = UpdateBus([tu.mem for tu in self.tus])

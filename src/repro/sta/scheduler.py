@@ -70,6 +70,7 @@ class Scheduler:
     __slots__ = (
         "machine", "tracegen", "_clock",
         "_tracer", "_obs_region", "_obs_thread", "_obs_ring", "_san",
+        "_attrib",
     )
 
     def __init__(self, machine: Machine, tracegen: TraceGenerator) -> None:
@@ -86,6 +87,10 @@ class Scheduler:
         self._obs_region = tracer if live and tracer.wants(CAT_REGION) else None
         self._obs_thread = tracer if live and tracer.wants(CAT_THREAD) else None
         self._obs_ring = tracer if live and tracer.wants(CAT_RING) else None
+        attrib = machine.attrib
+        # The attribution collector consumes the same estimated clock and
+        # region context a tracer does (lifetime gaps, per-region tables).
+        self._attrib = attrib if attrib is not None and attrib.enabled else None
 
     # ------------------------------------------------------------------
     # parallel regions
@@ -113,8 +118,11 @@ class Scheduler:
         multi_tu = n_tus > 1
         base = self._clock
         obs = self._tracer
+        att = self._attrib
         obs_t = self._obs_thread
         san = self._san
+        if att is not None:
+            att.region = region.name
         if self._obs_region is not None:
             self._obs_region.emit(
                 REGION_BEGIN, 0, invocation, tag=region.name, cycle=base
@@ -130,12 +138,16 @@ class Scheduler:
                 san.check_fork(src)
                 san.check_ring(src, tu.tu_id, n_tus)
             trace = tracegen.iteration_trace(region, i)
-            if obs is not None:
+            if obs is not None or att is not None:
                 # Replay happens before the schedule times are composed;
                 # stamp its events with the best available estimate of
                 # this iteration's start (exact when the fork-point bound
                 # dominates, which it almost always does).
-                obs.now = base + max(prev_cont_end, tu_free[tu.tu_id])
+                now = base + max(prev_cont_end, tu_free[tu.tu_id])
+                if obs is not None:
+                    obs.now = now
+                if att is not None:
+                    att.now = now
             timing = tu.execute_iteration(
                 region,
                 i,
@@ -211,6 +223,8 @@ class Scheduler:
             # overlapping the following sequential code at zero cost.
             if obs is not None:
                 obs.now = base + region_end
+            if att is not None:
+                att.now = base + region_end
             for k in range(n_tus - 1):
                 wrong_iter = hi + k
                 tu = machine.tu_for_iteration(wrong_iter)
@@ -249,7 +263,10 @@ class Scheduler:
         cycles = 0.0
         base = self._clock
         obs = self._tracer
+        att = self._attrib
         obs_t = self._obs_thread
+        if att is not None:
+            att.region = region.name
         if self._obs_region is not None:
             self._obs_region.emit(
                 REGION_BEGIN, tu.tu_id, invocation, tag=region.name, cycle=base
@@ -258,6 +275,8 @@ class Scheduler:
         for c in range(lo, hi):
             if obs is not None:
                 obs.now = base + cycles
+            if att is not None:
+                att.now = base + cycles
             trace = tracegen.chunk_trace(region, c)
             timing = tu.execute_sequential_chunk(
                 region, c, trace, tracegen, update_bus=machine.bus

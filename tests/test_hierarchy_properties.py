@@ -26,9 +26,17 @@ from repro.common.config import (
 )
 from repro.mem.hierarchy import TUMemSystem
 from repro.mem.l2 import SharedL2
+from repro.obs.attrib import (
+    AttributionCollector,
+    PROV_NAMES,
+    PROV_WRONG_PATH,
+    PROV_WRONG_THREAD,
+    SPECULATIVE_PROVS,
+)
 
 
-def make_system(kind: SidecarKind, entries: int = 4) -> TUMemSystem:
+def make_system(kind: SidecarKind, entries: int = 4,
+                attrib: AttributionCollector = None) -> TUMemSystem:
     l2 = SharedL2(
         MemorySystemConfig(
             l2=CacheConfig(size=16 * 1024, assoc=4, block_size=128,
@@ -41,6 +49,7 @@ def make_system(kind: SidecarKind, entries: int = 4) -> TUMemSystem:
         CacheConfig(size=1024, assoc=2, block_size=64, name="l1i"),
         SidecarConfig(kind=kind, entries=entries),
         l2,
+        attrib=attrib,
     )
 
 
@@ -137,6 +146,78 @@ def test_counter_consistency(kind, ops):
         s["wrong_l1_hits"] + s["wrong_sidecar_hits"] + s["wrong_fills"]
         == s["wrong_loads"]
     )
+
+
+#: The whole policy space the attribution layer must stay conservative
+#: over — every sidecar kind plus the plain (no-sidecar) configuration.
+ALL_KINDS = [
+    SidecarKind.WEC,
+    SidecarKind.VICTIM,
+    SidecarKind.PREFETCH,
+    SidecarKind.STREAM,
+    SidecarKind.NONE,
+]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=30, deadline=None)
+@given(ops=OPS)
+def test_attribution_lifetime_conservation(kind, ops):
+    """Every speculative fill's lifetime is accounted exactly once:
+    fills = useful + late + unused + polluting + still-open, per source
+    and in total, whatever the policy and traffic interleaving."""
+    attrib = AttributionCollector(window=64.0)
+    mem = make_system(kind, attrib=attrib)
+    for i, (op, block) in enumerate(ops):
+        # March the clock and flip the wrong-execution kind so both
+        # wrong provenances and several gap buckets are exercised.
+        attrib.now = float(i * 3)
+        addr = block * 64
+        if op == "load":
+            mem.load_correct(addr)
+        elif op == "store":
+            mem.store_correct(addr)
+        else:
+            attrib.set_wrong_context(
+                PROV_WRONG_PATH if block % 2 else PROV_WRONG_THREAD,
+                pc=block,
+            )
+            mem.load_wrong(addr)
+    summary = attrib.summary(instructions=max(1, len(ops)))
+    per_source = summary["per_source"]
+    for prov in SPECULATIVE_PROVS:
+        src = per_source[PROV_NAMES[prov]]
+        assert src["fills"] == (
+            src["useful"] + src["late"] + src["unused"]
+            + src["polluting"] + src["open"]
+        ), (kind, PROV_NAMES[prov], src)
+    totals = summary["totals"]
+    # Demand fills are born used, so they never appear in the closed
+    # classes; the grand total must balance the same way.
+    spec_fills = totals["fills"] - totals["demand_fills"]
+    assert spec_fills == (
+        totals["useful"] + totals["late"] + totals["unused"]
+        + totals["polluting"] + totals["open"]
+    )
+    # Pollution misses are demand misses, so they can never exceed the
+    # demand fills that were observed charging them.
+    assert totals["pollution_misses"] <= totals["demand_fills"]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@settings(max_examples=20, deadline=None)
+@given(ops=OPS)
+def test_attribution_never_perturbs_the_hierarchy(kind, ops):
+    """An attached collector observes; it must not change residency or
+    counters (the bit-identity guarantee at the component level)."""
+    plain = make_system(kind)
+    drive(plain, ops)
+    observed = make_system(kind, attrib=AttributionCollector())
+    drive(observed, ops)
+    assert plain.stats.as_dict() == observed.stats.as_dict()
+    assert {b for b, _ in plain.l1d.resident_blocks()} == {
+        b for b, _ in observed.l1d.resident_blocks()
+    }
 
 
 @settings(max_examples=30, deadline=None)

@@ -18,6 +18,7 @@ from repro import CONFIG_NAMES, SimParams, named_config, run_simulation
 from repro.analysis.report import ExperimentRecord, render_report
 from repro.analysis.speedup import suite_average_speedup_pct
 from repro.common.stats import arithmetic_mean
+from repro.obs.attrib import AttributionCollector
 from repro.obs.tracer import IntervalMetrics
 from repro.sim.executor import default_jobs
 from repro.sim.sweep import run_grid
@@ -157,6 +158,54 @@ def main() -> int:
         n_win > 0 and max(series["wec_hit_rate"]) > 0.0,
     )
     records.append(obs)
+
+    # -- Wrong-execution attribution (repro.obs.attrib) -------------------
+    attr = ExperimentRecord(
+        exp_id="Attribution",
+        title="Fill provenance and pollution attribution",
+        workload="181.mcf, wth-wp-wec vs wth-wp, AttributionCollector",
+        bench_target="repro explain 181.mcf wth-wp-wec --vs wth-wp",
+    )
+    wec_att = run_simulation(
+        "181.mcf", named_config("wth-wp-wec"), params,
+        attrib=AttributionCollector(),
+    ).attribution
+    plain_att = run_simulation(
+        "181.mcf", named_config("wth-wp"), params,
+        attrib=AttributionCollector(),
+    ).attribution
+    attr.add_check(
+        "wrong-execution fills achieve useful coverage on both sides",
+        "> 0 both",
+        f"wec {wec_att['metrics']['wrong_coverage']:.1%}, "
+        f"plain {plain_att['metrics']['wrong_coverage']:.1%}",
+        wec_att["metrics"]["wrong_coverage"] > 0
+        and plain_att["metrics"]["wrong_coverage"] > 0,
+    )
+    attr.add_check(
+        "the WEC absorbs wrong-execution pollution (lower polluting MPKI)",
+        "wec < plain",
+        f"wec {wec_att['metrics']['wrong_polluting_mpki']:.2f}, "
+        f"plain {plain_att['metrics']['wrong_polluting_mpki']:.2f}",
+        wec_att["metrics"]["wrong_polluting_mpki"]
+        < plain_att["metrics"]["wrong_polluting_mpki"],
+    )
+    # Demand fills are counted but not lifetime-tracked; conservation
+    # is a property of the speculative sources.
+    balanced = all(
+        src["fills"] == src["useful"] + src["late"] + src["unused"]
+        + src["polluting"] + src["open"]
+        for att in (wec_att, plain_att)
+        for name, src in att["per_source"].items()
+        if name != "demand"
+    )
+    attr.add_check(
+        "every speculative fill's lifetime is accounted for (conservation)",
+        "fills = useful+late+unused+polluting+open",
+        "balanced" if balanced else "UNBALANCED",
+        balanced,
+    )
+    records.append(attr)
 
     header = (
         f"# Reproduction report\n\n"
