@@ -100,18 +100,23 @@ from .obs.ledger import (
     write_export,
 )
 from .obs.tracer import IntervalMetrics, RingBufferTracer
-from .sim.driver import run_program, run_simulation
+from .sim.driver import ENGINES, run_program, run_simulation
 from .sim.executor import (
     code_version_token,
     config_fingerprint,
+    default_engine,
     default_jobs,
 )
 from .sim.sweep import run_grid
 from .sim.tables import TextTable
-from .sta.configs import CONFIG_NAMES, named_config
+from .sta.configs import ABLATION_CONFIG_NAMES, CONFIG_NAMES, named_config
 from .workloads.benchmarks import BENCHMARK_NAMES, benchmark_infos, build_benchmark
 
 __all__ = ["main", "build_parser"]
+
+#: Default ``repro diff`` ladder: every wrong-execution mode and sidecar
+#: policy combination the differential tests pin down.
+DIFF_LADDER = "orig,wp,wth,wth-wp,wth-wp-wec,vc,nlp,stream-pf"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,7 +147,14 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--manifest", metavar="PATH", default=None,
                         help="write a JSON run manifest (per-cell timing, "
                              "cache hits/misses) to PATH")
+        add_engine(sp)
         add_sanitize(sp)
+
+    def add_engine(sp):
+        sp.add_argument("--engine", default=None, choices=ENGINES,
+                        help="simulation engine (default $REPRO_ENGINE or "
+                             "oracle); 'fast' is bit-identical on results "
+                             "but has no event-level observer hooks")
 
     def add_sanitize(sp):
         sp.add_argument("--sanitize", action="store_true",
@@ -167,6 +179,28 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p = sub.add_parser("suite", help="all benchmarks, one config vs orig")
     suite_p.add_argument("--config", default="wth-wp-wec", choices=CONFIG_NAMES)
     add_common(suite_p)
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="differential engine check: run the oracle and fast engines "
+             "on the same grid and compare full results field by field; "
+             "exit 1 on any divergence",
+    )
+    diff_p.add_argument("--benchmarks", default=None, metavar="NAMES",
+                        help="comma-separated benchmark names "
+                             "(default: the whole Table 2 suite)")
+    diff_p.add_argument("--configs", default=DIFF_LADDER, metavar="NAMES",
+                        help="comma-separated configuration names "
+                             f"(default: {DIFF_LADDER})")
+    diff_p.add_argument("--scale", type=float, default=2e-5,
+                        help="instruction scale vs Table 2 "
+                             "(default 2e-5: smoke size)")
+    diff_p.add_argument("--seed", type=int, default=2003)
+    diff_p.add_argument("--seeds", default=None, metavar="LIST",
+                        help="comma-separated seeds (overrides --seed; "
+                             "every cell is checked under each)")
+    diff_p.add_argument("--tus", type=int, default=8,
+                        help="number of thread units (default 8)")
 
     trace_p = sub.add_parser(
         "trace",
@@ -289,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
     rec_p.add_argument("--no-baseline", action="store_true",
                        help="skip the orig baseline run (records no "
                             "speedup_pct)")
+    rec_p.add_argument("--engine", default=None, choices=ENGINES,
+                       help="simulation engine (default $REPRO_ENGINE or "
+                            "oracle); recorded in each ledger entry's "
+                            "provenance — incompatible with --trace, "
+                            "which needs the oracle's event hooks")
     add_sanitize(rec_p)
 
     cmpp = perf_sub.add_parser(
@@ -353,6 +392,7 @@ def _cmd_run(args) -> int:
         params=params,
         cache=not args.no_cache,
         manifest_path=args.manifest,
+        engine=args.engine,
     )
     result = grid[(args.benchmark, args.config)]
     print(f"machine : {cfg.describe()}")
@@ -385,6 +425,7 @@ def _cmd_compare(args) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         manifest_path=args.manifest,
+        engine=args.engine,
     )
     base = grid[(args.benchmark, "orig")]
     t = TextTable(
@@ -417,6 +458,7 @@ def _cmd_suite(args) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         manifest_path=args.manifest,
+        engine=args.engine,
     )
     t = TextTable(
         f"suite: {args.config} vs orig ({args.tus} TUs, scale {args.scale:g})",
@@ -536,6 +578,70 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _dict_diff_paths(ref, new, prefix: str = "") -> List[str]:
+    """Dotted paths (with both values) where two nested dicts differ."""
+    if isinstance(ref, dict) and isinstance(new, dict):
+        out: List[str] = []
+        for key in sorted(set(ref) | set(new)):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            out.extend(_dict_diff_paths(ref.get(key), new.get(key), child))
+        return out
+    if ref != new:
+        return [f"{prefix}: oracle={ref!r} fast={new!r}"]
+    return []
+
+
+def _cmd_diff(args) -> int:
+    bench_names = (
+        [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+        if args.benchmarks else list(BENCHMARK_NAMES)
+    )
+    config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
+    known = set(CONFIG_NAMES) | set(ABLATION_CONFIG_NAMES)
+    unknown = [c for c in config_names if c not in known]
+    if unknown:
+        raise ConfigError(f"unknown configuration(s): {', '.join(unknown)}")
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds else [args.seed]
+    )
+    configs = [named_config(name, n_tus=args.tus) for name in config_names]
+    n_cells = 0
+    mismatches = []
+    t0 = time.perf_counter()
+    # Straight run_program calls on both engines: the disk cache is
+    # deliberately bypassed (a cached result would compare an engine
+    # against itself), and one prebuilt program per benchmark keeps the
+    # two sides on the exact same workload object.
+    for bench in bench_names:
+        program = build_benchmark(bench, scale=args.scale)
+        for seed in seeds:
+            params = SimParams(seed=seed, scale=args.scale)
+            for cfg in configs:
+                oracle = run_program(program, cfg, params, engine="oracle")
+                fast = run_program(program, cfg, params, engine="fast")
+                n_cells += 1
+                diffs = _dict_diff_paths(oracle.to_dict(), fast.to_dict())
+                if diffs:
+                    mismatches.append((bench, cfg.name, seed, diffs))
+        print(f"{bench}: {len(seeds) * len(configs)} cell(s) checked")
+    wall = time.perf_counter() - t0
+    if mismatches:
+        print(f"\n{len(mismatches)} of {n_cells} cell(s) diverge between "
+              f"engines:", file=sys.stderr)
+        for bench, cfg_name, seed, diffs in mismatches:
+            print(f"  {bench}/{cfg_name} seed={seed}:", file=sys.stderr)
+            for line in diffs[:8]:
+                print(f"    {line}", file=sys.stderr)
+            if len(diffs) > 8:
+                print(f"    ... {len(diffs) - 8} more field(s)",
+                      file=sys.stderr)
+        return 1
+    print(f"\ndiff: {n_cells} cell(s) bit-identical across engines "
+          f"({wall:.1f}s)")
+    return 0
+
+
 def _perf_ledger_dir(arg: Optional[str]) -> Path:
     if arg:
         return Path(arg)
@@ -548,6 +654,7 @@ def _cmd_perf_record(args) -> int:
         return 2
     params = SimParams(seed=args.seed, scale=args.scale)
     cfg = named_config(args.config, n_tus=args.tus)
+    engine = args.engine if args.engine is not None else default_engine()
     program = build_benchmark(args.benchmark, scale=args.scale)
     ledger = Ledger(_perf_ledger_dir(args.dir))
     config_fp = config_fingerprint(cfg)
@@ -569,7 +676,8 @@ def _cmd_perf_record(args) -> int:
             tracer = RingBufferTracer(metrics=IntervalMetrics())
         t0 = time.perf_counter()
         result = run_program(program, cfg, params,
-                             tracer=tracer, profiler=profiler)
+                             tracer=tracer, profiler=profiler,
+                             engine=engine)
         wall_s = time.perf_counter() - t0
         speedup_pct = (
             result.relative_speedup_pct_vs(baseline)
@@ -586,6 +694,7 @@ def _cmd_perf_record(args) -> int:
             config_fp=config_fp,
             params_fp=params_fp,
             code_token=code_token,
+            engine=engine,
         )
         ledger.append(record)
         eps = record.host.get("events_per_sec", 0.0)
@@ -736,6 +845,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "suite":
             return _cmd_suite(args)
+        if args.command == "diff":
+            return _checked("diff", lambda: _cmd_diff(args))
         if args.command == "trace":
             return _checked("trace", lambda: _cmd_trace(args))
         if args.command == "explain":

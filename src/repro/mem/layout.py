@@ -1,0 +1,57 @@
+"""Cache array-geometry accessors shared by the oracle and fast engines.
+
+The oracle's :class:`~repro.mem.cache.SetAssocCache` derives its set
+count, index mask and block shift from a :class:`CacheConfig` at
+construction time; the fast engine (:mod:`repro.sim.fast.engine`) lays
+the same caches out as flat ``sets``/``mask``/``assoc`` state and must
+derive *identical* geometry or block-to-set mapping diverges silently.
+This module is the single place that derivation lives: both engines get
+their ``(n_sets, assoc, block_bits, set_mask)`` tuples from
+:func:`geometry_of`, so a future geometry change (sectoring, hashing)
+cannot update one engine and not the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import CacheConfig
+from ..common.units import log2_exact
+
+__all__ = ["CacheGeometry", "geometry_of"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Derived layout constants of one set-associative array."""
+
+    n_sets: int
+    assoc: int
+    block_bits: int
+    set_mask: int
+
+    def set_index(self, block: int) -> int:
+        """Set holding ``block`` (a block address, not a byte address)."""
+        return block & self.set_mask
+
+    def block_of(self, byte_addr: int) -> int:
+        """Block address of ``byte_addr``."""
+        return byte_addr >> self.block_bits
+
+
+def geometry_of(cfg: CacheConfig) -> CacheGeometry:
+    """Geometry of the array ``cfg`` describes.
+
+    Mirrors ``SetAssocCache.__init__``: ``n_sets`` comes from the config
+    property (``n_blocks // assoc``), the block shift from the exact log2
+    of the block size, and set selection is the low bits of the block
+    address (``n_sets`` is validated to a power of two by
+    ``cfg.validate()``).
+    """
+    cfg.validate()
+    return CacheGeometry(
+        n_sets=cfg.n_sets,
+        assoc=cfg.assoc,
+        block_bits=log2_exact(cfg.block_size),
+        set_mask=cfg.n_sets - 1,
+    )

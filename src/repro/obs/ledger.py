@@ -60,6 +60,16 @@ EXPORT_KIND = "repro-perf-export"
 #: The ledger file name inside the perf directory.
 LEDGER_FILENAME = "ledger.jsonl"
 
+#: Sub-resolution wall-clock floor for *rate* metrics.  A cell that
+#: completes faster than the host clock can resolve used to drop
+#: ``events_per_sec``/``cycles_per_sec`` entirely, which silently
+#: removed the record from every A/B comparison of those metrics.  The
+#: raw ``wall_s`` is always recorded as measured; rates divide by
+#: ``max(wall_s, WALL_EPSILON_S)`` and the record carries
+#: ``host["wall_clamped"] = 1.0`` so readers can tell a clamped rate
+#: from a measured one.
+WALL_EPSILON_S = 1e-6
+
 
 def default_perf_dir() -> Optional[Path]:
     """``$REPRO_PERF_DIR`` as a path, or ``None`` when recording is off."""
@@ -124,15 +134,24 @@ class PerfRecord:
         config_fp: str = "",
         params_fp: str = "",
         code_token: str = "",
+        engine: str = "",
     ) -> "PerfRecord":
-        """Build a record from a :class:`~repro.sim.results.SimResult`."""
+        """Build a record from a :class:`~repro.sim.results.SimResult`.
+
+        Rate metrics are always recorded: a ``wall_s`` below the host
+        clock's resolution is clamped to :data:`WALL_EPSILON_S` for the
+        division (raw ``wall_s`` kept as measured, ``wall_clamped``
+        marker set) instead of silently dropping the metrics.
+        """
         sim = result.sim_metrics()
         if speedup_pct is not None:
             sim["speedup_pct"] = float(speedup_pct)
         host: Dict[str, float] = {"wall_s": float(wall_s)}
-        if wall_s > 0:
-            host["events_per_sec"] = result.instructions / wall_s
-            host["cycles_per_sec"] = result.total_cycles / wall_s
+        rate_wall = wall_s if wall_s >= WALL_EPSILON_S else WALL_EPSILON_S
+        host["events_per_sec"] = result.instructions / rate_wall
+        host["cycles_per_sec"] = result.total_cycles / rate_wall
+        if wall_s < WALL_EPSILON_S:
+            host["wall_clamped"] = 1.0
         if peak_rss_kb is not None:
             host["peak_rss_kb"] = float(peak_rss_kb)
         return cls(
@@ -150,6 +169,7 @@ class PerfRecord:
                 "code_token": code_token,
                 "config_fp": config_fp,
                 "params_fp": params_fp,
+                "engine": engine or "oracle",
             },
             ts=time.time(),
         )

@@ -12,9 +12,11 @@ This is the main public entry point::
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Optional, Union
 
 from ..common.config import MachineConfig, SimParams
+from ..common.errors import ConfigError
 from ..common.rng import StreamFactory
 from ..lint.sanitize import maybe_sanitizer
 from ..obs.tracer import IntervalMetrics
@@ -27,9 +29,16 @@ from ..workloads.program import (
     SequentialRegionSpec,
 )
 from ..workloads.tracegen import TraceGenerator
+from .fast import run_program_fast
 from .results import SimResult
 
-__all__ = ["run_simulation", "run_program"]
+__all__ = ["ENGINES", "run_simulation", "run_program"]
+
+#: Recognised simulation engines.  ``oracle`` is the reference
+#: event-level interpreter below; ``fast`` is the compiled trace-replay
+#: engine in :mod:`repro.sim.fast`, bit-identical on results but
+#: without event-level observer hooks.
+ENGINES = ("oracle", "fast")
 
 
 def run_simulation(
@@ -40,6 +49,7 @@ def run_simulation(
     profiler=None,
     sanitizer=None,
     attrib=None,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Simulate ``benchmark`` (name or prebuilt program) on ``config``.
 
@@ -74,6 +84,14 @@ def run_simulation(
     correct use → eviction).  Same discipline as the tracer: out of
     hashed params, read-only on sim state, bit-identical results; its
     summary lands on :attr:`SimResult.attribution`.
+
+    ``engine`` picks the implementation: ``"oracle"`` (the default, and
+    what ``None`` means) is the event-level interpreter; ``"fast"`` is
+    the compiled trace-replay engine, bit-identical on every
+    :class:`SimResult` field but without event-level observer hooks.
+    The driver never reads the environment (results are cached under
+    config/params fingerprints): the ``REPRO_ENGINE`` knob is resolved
+    by the executor and the CLI and passed down explicitly.
     """
     if isinstance(benchmark, str):
         program = build_benchmark(benchmark, scale=params.scale)
@@ -81,7 +99,7 @@ def run_simulation(
         program = benchmark
     return run_program(program, config, params, tracer=tracer,
                        profiler=profiler, sanitizer=sanitizer,
-                       attrib=attrib)
+                       attrib=attrib, engine=engine)
 
 
 def run_program(
@@ -92,8 +110,55 @@ def run_program(
     profiler=None,
     sanitizer=None,
     attrib=None,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Simulate a prebuilt :class:`Program` on ``config``."""
+    if engine is None:
+        engine = "oracle"
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r} (expected one of {', '.join(ENGINES)})"
+        )
+    if engine == "fast":
+        # Event-level observers need the oracle's replay.  Explicitly
+        # passed ones are a caller contradiction (hard error); a
+        # sanitizer auto-created from REPRO_SANITIZE is an environment
+        # knob colliding with an engine knob — the checking mode wins,
+        # with a visible downgrade.
+        blockers = [
+            name
+            for name, obs in (
+                ("tracer", tracer), ("sanitizer", sanitizer),
+                ("attrib", attrib),
+            )
+            if obs is not None
+        ]
+        if blockers:
+            raise ConfigError(
+                "engine='fast' cannot honour event-level observers "
+                f"({', '.join(blockers)}); use engine='oracle' for "
+                "traced/sanitized/attributed runs"
+            )
+        if maybe_sanitizer(None) is not None:
+            warnings.warn(
+                "REPRO_SANITIZE=1 requires the oracle engine; "
+                "falling back from engine='fast'",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            # The host profiler never touches sim state; the fast
+            # engine has no component sections, so the whole run lands
+            # in one bucket.
+            if profiler is not None:
+                t0 = time.perf_counter()  # lint: allow(DET001 host profiling; never feeds sim state)
+                result = run_program_fast(program, config, params)
+                profiler.add(
+                    "engine.fast",
+                    time.perf_counter() - t0,  # lint: allow(DET001 host profiling; never feeds sim state)
+                )
+                return result
+            return run_program_fast(program, config, params)
     sanitizer = maybe_sanitizer(sanitizer)
     machine_tracer = tracer
     if profiler is not None and tracer is not None:

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import gc
 import hashlib
 import json
 import multiprocessing
@@ -58,12 +59,12 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..common.config import MachineConfig, SimParams
-from ..common.errors import AnalysisError, SweepError
+from ..common.errors import AnalysisError, ConfigError, SweepError
 from ..obs.hostprof import HostProfiler, peak_rss_kb
 from ..obs.ledger import Ledger, PerfRecord, default_perf_dir
 from ..workloads.benchmarks import build_benchmark
 from ..workloads.program import Program
-from .driver import run_program
+from .driver import ENGINES, run_program
 from .results import SimResult
 
 __all__ = [
@@ -78,6 +79,7 @@ __all__ = [
     "code_version_token",
     "config_fingerprint",
     "default_cache_root",
+    "default_engine",
     "default_jobs",
     "run_cell",
     "run_cells",
@@ -353,6 +355,12 @@ class SweepStats:
     wall_s: float = 0.0
     cache_root: Optional[str] = None
     code_token: str = ""
+    #: The simulation engine every executed cell ran with.
+    engine: str = "oracle"
+    #: Why a ``jobs > 1`` request ran serially anyway (``None`` when the
+    #: fan-out happened, or when serial execution was requested):
+    #: ``"single-cell"``, ``"fork-unavailable"`` or ``"all-cells-cached"``.
+    serial_fallback: Optional[str] = None
     records: List[CellRecord] = field(default_factory=list)
     failures: List[CellFailure] = field(default_factory=list)
 
@@ -361,8 +369,10 @@ class SweepStats:
         return {
             "schema": CACHE_SCHEMA_VERSION,
             "code_token": self.code_token,
+            "engine": self.engine,
             "jobs_requested": self.jobs_requested,
             "jobs_used": self.jobs_used,
+            "serial_fallback": self.serial_fallback,
             "n_cells": self.n_cells,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
@@ -420,7 +430,7 @@ def _build_program(benchmark: str, scale: float) -> Program:
 
 def _execute_cell(
     benchmark: str, config: MachineConfig, params: SimParams,
-    profile: bool = False,
+    profile: bool = False, engine: Optional[str] = None,
 ) -> Tuple[str, object, object]:
     """Run one cell in the current process.
 
@@ -436,7 +446,7 @@ def _execute_cell(
     try:
         result = run_program(
             _build_program(benchmark, params.scale), config, params,
-            profiler=profiler,
+            profiler=profiler, engine=engine,
         )
         wall_s = time.perf_counter() - t0  # lint: allow(DET001 host wall-clock for sweep stats)
         host: Dict[str, object] = {"wall_s": wall_s}
@@ -457,6 +467,26 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def default_engine() -> str:
+    """The engine from ``$REPRO_ENGINE``, validated (default ``oracle``).
+
+    Resolved here — at the process boundary — rather than in the driver:
+    the driver stays environment-free so that a result is a pure function
+    of ``(program, config, params)``, which is what the disk cache keys
+    assume.  A typo in ``REPRO_ENGINE`` is a loud :class:`ConfigError`,
+    never a silent fallback.
+    """
+    value = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    if not value:
+        return "oracle"
+    if value not in ENGINES:
+        raise ConfigError(
+            f"REPRO_ENGINE={value!r} is not a recognised engine "
+            f"(expected one of: {', '.join(ENGINES)})"
+        )
+    return value
+
+
 # ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
@@ -473,6 +503,7 @@ def run_cells(
     perf: Optional[bool] = None,
     perf_dir: Union[str, Path, None] = None,
     perf_context: str = "executor",
+    engine: Optional[str] = None,
 ) -> SweepOutcome:
     """Execute a sweep: resolve every cell from cache or simulation.
 
@@ -515,8 +546,21 @@ def run_cells(
         ``.perf`` when ``perf=True`` without a directory).
     perf_context:
         The ``context`` string stamped on recorded ledger entries.
+    engine:
+        Simulation engine for executed cells (``"oracle"``/``"fast"``);
+        ``None`` resolves ``$REPRO_ENGINE`` via :func:`default_engine`.
+        Deliberately *not* part of the cache key: engines are
+        bit-identical on results, so a cached oracle result satisfies a
+        fast-engine sweep and vice versa.  The engine used is recorded
+        in the manifest and in each ledger record's provenance.
     """
     cells = list(cells)
+    if engine is None:
+        engine = default_engine()
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"unknown engine {engine!r} (expected one of: {', '.join(ENGINES)})"
+        )
     t_start = time.perf_counter()  # lint: allow(DET001 host wall-clock for sweep stats)
     dcache = DiskCache(cache_dir) if _cache_enabled(cache) else None
 
@@ -529,6 +573,7 @@ def run_cells(
         n_cells=len(cells),
         cache_root=str(dcache.root) if dcache is not None else None,
         code_token=code_version_token(),
+        engine=engine,
     )
     results: Dict[Tuple[str, str], SimResult] = {}
     records: Dict[Tuple[str, str], CellRecord] = {}
@@ -569,15 +614,73 @@ def run_cells(
             stats.cache_misses += 1
             to_run.append((cell, key))
 
-    # Phase 2: execute the misses — fanned out or serial.
-    use_parallel = jobs > 1 and len(to_run) > 1 and _fork_available()
+    # Phase 2: execute the misses — fanned out or serial.  A ``jobs > 1``
+    # request that cannot be honoured is recorded in the manifest and
+    # warned about, never silently degraded (a sweep that quietly ignores
+    # ``jobs`` looks identical to a parallel one except for wall time).
+    serial_reason: Optional[str] = None
+    if jobs > 1:
+        if not to_run:
+            serial_reason = "all-cells-cached"
+        elif len(to_run) == 1:
+            serial_reason = "single-cell"
+        elif not _fork_available():
+            serial_reason = "fork-unavailable"
+    use_parallel = jobs > 1 and serial_reason is None
+    stats.serial_fallback = serial_reason
+    if serial_reason is not None and to_run:
+        warnings.warn(
+            f"run_cells: jobs={jobs} requested but executing serially "
+            f"({serial_reason})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    # Warm-up pass, two reasons to run it.  Parallel: build each unique
+    # benchmark model (and, with the fast engine, its compile/trace/
+    # branch-stream memos) in the parent so forked workers inherit them
+    # copy-on-write instead of each rebuilding them.  Serial with perf
+    # recording on: the ledger's per-cell walls are meant to measure
+    # steady-state engine throughput, so one-time memo construction must
+    # not land in whichever cell happens to run first.  Keyed per
+    # (benchmark, scale, wrong-exec flavour) because wrong-path and
+    # wrong-thread address streams are separate memo families — warming
+    # ``orig`` alone would leave the first ``wp``/``wth`` cell cold.
+    if to_run and (use_parallel or perf_on):
+        warmed = set()
+        for cell, _key in to_run:
+            we = cell.config.wrong_exec
+            wkey = (cell.benchmark, cell.params.scale,
+                    we.wrong_path, we.wrong_thread)
+            if wkey in warmed:
+                continue
+            warmed.add(wkey)
+            try:
+                program = _build_program(cell.benchmark, cell.params.scale)
+                if engine == "fast":
+                    run_program(program, cell.config, cell.params,
+                                engine="fast")
+            # lint: allow(EXC001 warm-up is an optimisation only: a failing cell re-runs in its worker/cell and is reported there)
+            except Exception:
+                pass
+    if perf_on and to_run:
+        # Measurement hygiene: move every object alive at this point
+        # (interpreter, test harness, benchmark models, engine memos)
+        # into the GC's permanent generation.  Without this, full
+        # collections triggered mid-cell scan the whole long-lived heap
+        # and land tens of milliseconds in whichever cell is running —
+        # visible as outlier walls in the perf ledger.  After the
+        # freeze, collections only trace objects allocated by the cells
+        # themselves.  Results are unaffected; frozen objects live
+        # until process exit, which is where sweep processes end anyway.
+        gc.collect()
+        gc.freeze()
     if use_parallel:
         stats.jobs_used = min(jobs, len(to_run))
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=stats.jobs_used, mp_context=ctx) as pool:
             futures = {
                 pool.submit(_execute_cell, cell.benchmark, cell.config,
-                            cell.params, perf_on):
+                            cell.params, perf_on, engine):
                 (cell, key)
                 for cell, key in to_run
             }
@@ -599,7 +702,7 @@ def run_cells(
                 progress(cell.benchmark, cell.label)
             ingest(cell, key,
                    _execute_cell(cell.benchmark, cell.config, cell.params,
-                                 perf_on))
+                                 perf_on, engine))
 
     # Deterministic output order: the caller's cell order, not completion
     # order (labels_of/benchmarks_of rely on grid insertion order).
@@ -612,7 +715,8 @@ def run_cells(
     stats.wall_s = time.perf_counter() - t_start  # lint: allow(DET001 host wall-clock for sweep stats)
 
     if ledger is not None:
-        _record_perf(ledger, cells, ordered, records, stats, perf_context)
+        _record_perf(ledger, cells, ordered, records, stats, perf_context,
+                     engine)
 
     if manifest_path is not None:
         stats.write_manifest(manifest_path)
@@ -635,6 +739,7 @@ def _record_perf(
     records: Dict[Tuple[str, str], CellRecord],
     stats: SweepStats,
     context: str,
+    engine: str = "oracle",
 ) -> None:
     """Append a ledger record for every cell this sweep *executed*.
 
@@ -670,6 +775,7 @@ def _record_perf(
                 config_fp=config_fingerprint(cell.config),
                 params_fp=config_fingerprint(cell.params),
                 code_token=token,
+                engine=engine,
             )
         )
 
@@ -680,8 +786,10 @@ def run_cell(
     params: SimParams = SimParams(),
     cache: Optional[bool] = None,
     cache_dir: Union[str, Path, None] = None,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Resolve a single (benchmark, configuration) cell through the cache."""
     cell = SweepCell(benchmark, config.name, config, params)
-    outcome = run_cells([cell], jobs=1, cache=cache, cache_dir=cache_dir)
+    outcome = run_cells([cell], jobs=1, cache=cache, cache_dir=cache_dir,
+                        engine=engine)
     return outcome.results[cell.grid_key]

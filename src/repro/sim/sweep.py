@@ -39,6 +39,7 @@ def run_grid(
     cache_dir: Union[str, Path, None] = None,
     manifest_path: Union[str, Path, None] = None,
     perf_context: str = "sweep",
+    engine: Optional[str] = None,
 ) -> ResultGrid:
     """Run every benchmark × configuration pair.
 
@@ -51,7 +52,8 @@ def run_grid(
     :class:`~repro.common.errors.SweepError` naming its grid key after
     the rest of the grid has been attempted.  When ``$REPRO_PERF_DIR``
     is set, executed cells are appended to the perf ledger under
-    ``perf_context``.
+    ``perf_context``.  ``engine`` selects the simulation engine for
+    executed cells (``None``: ``$REPRO_ENGINE`` or ``oracle``).
     """
     if not configs:
         raise AnalysisError("empty configuration axis")
@@ -69,6 +71,7 @@ def run_grid(
         progress=progress,
         manifest_path=manifest_path,
         perf_context=perf_context,
+        engine=engine,
     )
     return outcome.results
 

@@ -48,7 +48,49 @@ from ..workloads.program import ParallelRegionSpec, SequentialRegionSpec
 from ..workloads.tracegen import TraceGenerator
 from .machine import Machine
 
-__all__ = ["RegionResult", "Scheduler"]
+__all__ = ["RegionResult", "Scheduler", "compose_pipeline_step"]
+
+
+def compose_pipeline_step(
+    first: bool,
+    fork_base: float,
+    fork_cost: float,
+    tu_avail: float,
+    cont: float,
+    tsag: float,
+    comp: float,
+    wb: float,
+    coupling: float,
+    prev_comp_end: float,
+    prev_comp_len: float,
+    prev_wb_end: float,
+):
+    """Place one iteration into the thread-pipelining schedule.
+
+    Pure function shared by the oracle scheduler and the fast engine so
+    both compose iteration timings with literally the same arithmetic
+    (bit-identical floats).  Returns ``(start, cont_end, comp_end,
+    wb_end)``.
+    """
+    if first:
+        start = tu_avail
+    else:
+        start = max(fork_base + fork_cost, tu_avail)
+    cont_end = start + cont
+    tsag_end = cont_end + tsag
+    # Cross-iteration dependence: the upstream thread produces the
+    # forwarded data `coupling` of the way *from the end* of its
+    # computation stage; downstream computation cannot complete earlier
+    # than that production point plus its own work.
+    if not first and coupling > 0.0:
+        dep_ready = prev_comp_end - (1.0 - coupling) * prev_comp_len
+        comp_start = max(tsag_end, dep_ready)
+    else:
+        comp_start = tsag_end
+    comp_end = comp_start + comp
+    wb_start = max(comp_end, prev_wb_end)
+    wb_end = wb_start + wb
+    return start, cont_end, comp_end, wb_end
 
 
 @dataclass
@@ -159,25 +201,16 @@ class Scheduler:
             )
             if i == lo:
                 fork_at = 0.0
-                start = tu_free[tu.tu_id]
+                fork_cost = 0.0
             else:
                 fork_at = prev_cont_end
                 fork_cost = tu.fork_cost(trace.n_forward_values) if multi_tu else 0.0
-                start = max(fork_at + fork_cost, tu_free[tu.tu_id])
-            cont_end = start + timing.continuation
-            tsag_end = cont_end + timing.tsag
-            # Cross-iteration dependence: the upstream thread produces the
-            # forwarded data `coupling` of the way *from the end* of its
-            # computation stage; downstream computation cannot complete
-            # earlier than that production point plus its own work.
-            if i > lo and coupling > 0.0:
-                dep_ready = prev_comp_end - (1.0 - coupling) * prev_comp_len
-                comp_start = max(tsag_end, dep_ready)
-            else:
-                comp_start = tsag_end
-            comp_end = comp_start + timing.computation
-            wb_start = max(comp_end, prev_wb_end)
-            wb_end = wb_start + timing.writeback
+            start, cont_end, comp_end, wb_end = compose_pipeline_step(
+                i == lo, fork_at, fork_cost, tu_free[tu.tu_id],
+                timing.continuation, timing.tsag,
+                timing.computation, timing.writeback,
+                coupling, prev_comp_end, prev_comp_len, prev_wb_end,
+            )
 
             if obs_t is not None:
                 # Exact post-hoc schedule events (timings are now known).

@@ -39,7 +39,7 @@ from repro.obs.ledger import (
 )
 from repro.obs.tracer import RingBufferTracer
 from repro.sim.driver import run_program
-from repro.sim.executor import SweepCell, run_cells
+from repro.sim.executor import SweepCell, default_engine, run_cells
 from repro.workloads.benchmarks import build_benchmark
 
 TINY = SimParams(seed=7, scale=2e-5, warmup_invocations=0)
@@ -386,7 +386,13 @@ class TestExecutorRecording:
         assert rec.context == "unit"
         assert rec.host["wall_s"] > 0
         assert rec.host["events_per_sec"] > 0
-        assert rec.profile and "tu.replay" in rec.profile
+        # The oracle profiles per component; the fast engine reports the
+        # whole run under one section.  Honour $REPRO_ENGINE so the
+        # engine=fast CI leg exercises its own profile shape.
+        section = ("engine.fast" if default_engine() == "fast"
+                   else "tu.replay")
+        assert rec.profile and section in rec.profile
+        assert rec.provenance["engine"] == default_engine()
         assert rec.provenance["code_token"]
         assert rec.provenance["config_fp"] != rec.provenance["params_fp"]
 
