@@ -16,6 +16,12 @@
 #   make diff-smoke   oracle-vs-fast differential over the config
 #                     ladder at smoke scale; exits non-zero on any
 #                     counter mismatch
+#   make serve-smoke  sweep service end-to-end: boot `repro serve`
+#                     (2 workers), submit the 48-cell acceptance grid
+#                     twice, assert bit-identity with a local run_grid,
+#                     >=90% cache hits on resubmit, and job/tenant
+#                     provenance on every ledger record
+#                     (docs/SERVICE.md)
 #   make perf-gate    bench-smoke + regression check vs the committed
 #                     baseline (benchmarks/BENCH_baseline.json)
 #   make explain-smoke  attribution layer end-to-end at tiny scale:
@@ -28,7 +34,7 @@ PY ?= python
 BENCH_JOBS ?= 1
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke diff-smoke explain-smoke perf-gate calibrate
+.PHONY: test lint bench bench-smoke diff-smoke serve-smoke explain-smoke perf-gate calibrate
 
 test:
 	$(PY) -m pytest -x -q
@@ -48,6 +54,9 @@ bench-smoke:
 
 diff-smoke:
 	$(PY) -m repro diff --scale 2e-5 --seeds 2003,7,42
+
+serve-smoke:
+	$(PY) tools/serve_smoke.py
 
 explain-smoke:
 	$(PY) -m repro explain 181.mcf wth-wp-wec --vs wth-wp \

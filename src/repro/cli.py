@@ -27,6 +27,15 @@ Commands
 ``lint``
     Static determinism/invariant analysis over Python sources (rule
     catalog in ``docs/STATIC_ANALYSIS.md``); exit 1 on findings.
+``serve`` / ``submit`` / ``jobs``
+    The sweep service (``docs/SERVICE.md``): ``serve`` runs the
+    long-lived deduplicating job-queue server, ``submit`` sends a sweep
+    spec and streams per-cell progress to completion, ``jobs`` lists or
+    inspects the server's jobs.
+``cache stats | prune``
+    Inspect the persistent result cache and evict least-recently-used
+    entries down to a size budget (``$REPRO_CACHE_MAX_MB`` or
+    ``--max-mb``).
 
 Examples
 --------
@@ -42,6 +51,11 @@ Examples
     python -m repro perf compare before after --threshold 10%
     python -m repro perf report --json BENCH_smoke.json
     python -m repro lint src --baseline lint-baseline.json
+    python -m repro serve --port 8753 --workers 4 --engine fast
+    python -m repro submit --benchmarks mcf,equake --configs orig,wth-wp-wec
+    python -m repro jobs j0001 --port 8753
+    python -m repro cache stats
+    python -m repro cache prune --max-mb 256
 
 Sweeps resolve through the persistent result cache (``$REPRO_CACHE_DIR``,
 default ``~/.cache/repro``; bypass with ``--no-cache``) and fan cache
@@ -102,6 +116,7 @@ from .obs.ledger import (
 from .obs.tracer import IntervalMetrics, RingBufferTracer
 from .sim.driver import ENGINES, run_program, run_simulation
 from .sim.executor import (
+    DiskCache,
     code_version_token,
     config_fingerprint,
     default_engine,
@@ -287,6 +302,89 @@ def build_parser() -> argparse.ArgumentParser:
                              "exit 0")
     lint_p.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the sweep service: a long-lived deduplicating job "
+             "queue sharding grid cells over worker processes "
+             "(docs/SERVICE.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8753,
+                         help="TCP port (default 8753; 0 = ephemeral)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="worker subprocesses (default 2)")
+    serve_p.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="result-cache root for server and workers "
+                              "(default $REPRO_CACHE_DIR or ~/.cache/repro)")
+    add_engine(serve_p)
+
+    def add_client(sp):
+        sp.add_argument("--host", default="127.0.0.1",
+                        help="server address (default 127.0.0.1)")
+        sp.add_argument("--port", type=int, default=8753,
+                        help="server port (default 8753)")
+        sp.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request timeout in seconds (default 60)")
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a sweep grid to a running `repro serve` and stream "
+             "per-cell progress to completion",
+    )
+    submit_p.add_argument("--benchmarks", default=None, metavar="NAMES",
+                          help="comma-separated benchmark names "
+                               "(default: the whole Table 2 suite)")
+    submit_p.add_argument("--configs", default=DIFF_LADDER, metavar="NAMES",
+                          help="comma-separated configuration names "
+                               f"(default: {DIFF_LADDER})")
+    submit_p.add_argument("--scale", type=float, default=2e-4,
+                          help="instruction scale vs Table 2 (default 2e-4)")
+    submit_p.add_argument("--seed", type=int, default=2003)
+    submit_p.add_argument("--tus", type=int, default=8,
+                          help="number of thread units (default 8)")
+    submit_p.add_argument("--tenant", default="default",
+                          help="provenance tenant stamped on every perf-"
+                               "ledger record of this job (default 'default')")
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return without "
+                               "streaming progress")
+    submit_p.add_argument("--out", default=None, metavar="PATH",
+                          help="write the finished job's results document "
+                               "as JSON to PATH")
+    add_engine(submit_p)
+    add_client(submit_p)
+
+    jobs_p = sub.add_parser(
+        "jobs",
+        help="list a server's jobs, or show one job's per-cell status",
+    )
+    jobs_p.add_argument("job_id", nargs="?", default=None,
+                        help="job id (omit to list all jobs)")
+    add_client(jobs_p)
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="persistent result cache: stats, LRU prune",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cstats_p = cache_sub.add_parser(
+        "stats", help="entry count, size, and quota of the result cache")
+    cstats_p.add_argument("--dir", default=None, metavar="PATH",
+                          help="cache root (default $REPRO_CACHE_DIR or "
+                               "~/.cache/repro)")
+    cprune_p = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used entries until the cache fits "
+             "the budget",
+    )
+    cprune_p.add_argument("--dir", default=None, metavar="PATH",
+                          help="cache root (default $REPRO_CACHE_DIR or "
+                               "~/.cache/repro)")
+    cprune_p.add_argument("--max-mb", type=float, default=None, metavar="MB",
+                          help="size budget in MiB (default "
+                               "$REPRO_CACHE_MAX_MB; required if unset)")
 
     perf_p = sub.add_parser(
         "perf",
@@ -642,6 +740,150 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Lazy import: the service pulls in asyncio machinery most CLI
+    # invocations never need.
+    import asyncio
+
+    from .serve.server import ServeServer
+
+    server = ServeServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        engine=args.engine,
+        cache_dir=args.cache_dir,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro serve: http://{server.host}:{server.port} "
+            f"({server.n_workers} worker(s), engine {server.engine}, "
+            f"cache {server.queue.cache.root})",
+            flush=True,
+        )
+        await server._stopping.wait()
+        await server._shutdown()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .serve.client import ServeClient
+    from .serve.wire import SweepSpec
+
+    bench_names = (
+        [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+        if args.benchmarks else list(BENCHMARK_NAMES)
+    )
+    config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
+    known = set(CONFIG_NAMES) | set(ABLATION_CONFIG_NAMES)
+    unknown = [c for c in config_names if c not in known]
+    if unknown:
+        raise ConfigError(f"unknown configuration(s): {', '.join(unknown)}")
+    spec = SweepSpec(
+        benchmarks=tuple(bench_names),
+        configs=tuple(
+            (name, named_config(name, n_tus=args.tus))
+            for name in config_names
+        ),
+        params=SimParams(seed=args.seed, scale=args.scale),
+        engine=args.engine,
+        tenant=args.tenant,
+    )
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    summary = client.submit(spec)
+    job_id = summary["job_id"]
+    print(f"job {job_id}: {summary['n_cells']} cell(s) "
+          f"({summary['cache_hits']} already cached), "
+          f"engine {summary['engine']}, tenant {summary['tenant']}")
+    if args.no_wait:
+        return 0
+
+    def on_event(event) -> None:
+        kind = event.get("kind")
+        if kind == "cell-done":
+            print(f"  {event['benchmark']}/{event['label']}: "
+                  f"{event['source']} ({event.get('wall_s', 0.0):.2f}s)")
+        elif kind == "cell-failed":
+            print(f"  {event['benchmark']}/{event['label']}: FAILED — "
+                  f"{event.get('error')}", file=sys.stderr)
+        elif kind == "cell-retried":
+            print(f"  {event['benchmark']}/{event['label']}: retrying "
+                  f"(attempt {event.get('attempts')})", file=sys.stderr)
+
+    status = client.wait(job_id, on_event=on_event)
+    print(f"job {job_id}: {status['state']} — "
+          f"{status['cache_hits']} cached, {status['executed']} executed, "
+          f"{status['deduped']} deduped, {status['failed']} failed")
+    if args.out:
+        doc = client.results(job_id)
+        Path(args.out).write_text(json.dumps(doc, indent=2, sort_keys=True))
+        print(f"results: {args.out}")
+    return 0 if status["state"] == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from .serve.client import ServeClient
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.job_id is None:
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        t = TextTable(
+            f"jobs on {args.host}:{args.port}",
+            ["job", "tenant", "state", "cells", "cached", "run",
+             "dedup", "failed"],
+        )
+        for j in jobs:
+            t.add_row([
+                j["job_id"], j["tenant"], j["state"], j["n_cells"],
+                j["cache_hits"], j["executed"], j["deduped"], j["failed"],
+            ])
+        print(t)
+        return 0
+    doc = client.job(args.job_id)
+    print(f"job {doc['job_id']}: {doc['state']} "
+          f"(tenant {doc['tenant']}, engine {doc['engine']})")
+    for cell in doc["cells"]:
+        line = (f"  {cell['benchmark']}/{cell['label']}: {cell['status']}"
+                + (f" ({cell['wall_s']:.2f}s)" if cell["wall_s"] else ""))
+        if cell.get("error"):
+            line += f" — {cell['error']}"
+        print(line)
+    return 0
+
+
+def _cmd_cache_stats(args) -> int:
+    stats = DiskCache(args.dir).stats()
+    print(f"root    : {stats.root}")
+    print(f"entries : {stats.entries}")
+    print(f"size    : {stats.total_mb:.1f} MiB ({stats.total_bytes} bytes)")
+    if stats.quota_mb is not None:
+        print(f"quota   : {stats.quota_mb:g} MiB ($REPRO_CACHE_MAX_MB)")
+    else:
+        print("quota   : none ($REPRO_CACHE_MAX_MB unset)")
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    cache = DiskCache(args.dir, max_mb=args.max_mb)
+    pruned = cache.prune(args.max_mb)
+    mib = 1024 * 1024
+    print(f"removed : {pruned.removed} entr(y/ies), "
+          f"{pruned.freed_bytes / mib:.1f} MiB freed")
+    print(f"kept    : {pruned.kept} entr(y/ies), "
+          f"{pruned.kept_bytes / mib:.1f} MiB")
+    return 0
+
+
 def _perf_ledger_dir(arg: Optional[str]) -> Path:
     if arg:
         return Path(arg)
@@ -853,6 +1095,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _checked("explain", lambda: _cmd_explain(args))
         if args.command == "lint":
             return _checked("lint", lambda: _cmd_lint(args))
+        if args.command == "serve":
+            return _checked("serve", lambda: _cmd_serve(args))
+        if args.command == "submit":
+            return _checked("submit", lambda: _cmd_submit(args))
+        if args.command == "jobs":
+            return _checked("jobs", lambda: _cmd_jobs(args))
+        if args.command == "cache":
+            if args.cache_command == "stats":
+                return _checked("cache stats", lambda: _cmd_cache_stats(args))
+            if args.cache_command == "prune":
+                return _checked("cache prune", lambda: _cmd_cache_prune(args))
         if args.command == "perf":
             if args.perf_command == "record":
                 return _checked("perf record", lambda: _cmd_perf_record(args))

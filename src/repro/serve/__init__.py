@@ -1,0 +1,29 @@
+"""The sweep service: submit grids to a long-running, deduplicating server.
+
+``repro serve`` runs :class:`~repro.serve.server.ServeServer` — an
+asyncio HTTP/JSON job queue that resolves sweep cells through the
+executor's content-addressed result cache, dedups identical in-flight
+cells across jobs, and shards cache misses over persistent worker
+subprocesses running the fast (or oracle) engine.  ``repro submit`` /
+``repro jobs`` drive it through :class:`~repro.serve.client.ServeClient`.
+
+Everything is stdlib: the wire layer (:mod:`repro.serve.wire`) encodes
+the same frozen config dataclasses the executor fingerprints, so a grid
+run through the service is bit-identical to a local ``run_grid`` and
+hits the same cache entries.  Protocol reference: ``docs/SERVICE.md``.
+"""
+
+from .client import ServeClient
+from .queue import Job, JobQueue
+from .server import ServeServer, ServerThread
+from .wire import SERVE_SCHEMA_VERSION, SweepSpec
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "Job",
+    "JobQueue",
+    "ServeClient",
+    "ServeServer",
+    "ServerThread",
+    "SweepSpec",
+]

@@ -1,0 +1,213 @@
+"""Blocking HTTP client for the sweep service.
+
+``repro submit`` / ``repro jobs`` are thin wrappers over
+:class:`ServeClient` — a deliberately boring stdlib ``http.client``
+client (one connection per request; the event stream holds its
+connection open and reads chunked JSON lines).
+
+:meth:`ServeClient.wait` is the reliability surface: it follows a job's
+event stream to completion and, when the connection drops mid-job
+(server restart of the HTTP layer is not survivable, but network blips
+and timeouts are), reconnects with ``?since=<last seq>`` so progress
+resumes exactly where it stopped — no event is ever re-delivered or
+lost.
+
+:meth:`ServeClient.result_grid` converts a finished job into the same
+``{(benchmark, label): SimResult}`` mapping a local
+:func:`repro.sim.sweep.run_grid` returns, which is what the bit-identity
+checks in ``make serve-smoke`` compare.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..common.errors import ServeError, WireError
+from ..sim.results import SimResult
+from ..sim.sweep import ResultGrid
+from .wire import SweepSpec
+
+__all__ = ["ServeClient"]
+
+#: Errors that mean "the connection went away", not "the request was bad".
+_TRANSPORT_ERRORS = (
+    ConnectionError,
+    http.client.HTTPException,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+)
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8753,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict] = None) -> Dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body, sort_keys=True)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                doc = json.loads(raw)
+            except ValueError:
+                raise ServeError(
+                    f"{method} {path}: non-JSON response "
+                    f"(HTTP {response.status}): {raw[:200]!r}"
+                ) from None
+            if response.status >= 400:
+                error = doc.get("error", {})
+                raise ServeError(
+                    f"{method} {path}: HTTP {response.status} "
+                    f"[{error.get('kind', 'error')}] "
+                    f"{error.get('message', raw[:200])}"
+                )
+            return doc
+        finally:
+            conn.close()
+
+    # -- endpoints -------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("GET", "/v1/health")
+
+    def submit(self, spec: SweepSpec) -> Dict:
+        """Submit a sweep; returns the job summary (``job_id`` et al)."""
+        return self._request("POST", "/v1/jobs", body=spec.to_wire())
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/v1/shutdown")
+
+    def events(self, job_id: str, since: int = 0) -> Iterator[Dict]:
+        """Stream one connection's worth of job events (may disconnect).
+
+        Yields event dicts in sequence order starting after ``since``.
+        Transport errors propagate — :meth:`wait` is the reconnecting
+        wrapper around this.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    error = json.loads(raw).get("error", {})
+                except ValueError:
+                    error = {}
+                raise ServeError(
+                    f"events({job_id}): HTTP {response.status} "
+                    f"[{error.get('kind', 'error')}] "
+                    f"{error.get('message', raw[:200])}"
+                )
+            # http.client undoes the chunked framing; each line is one
+            # JSON event document.
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except ValueError as exc:
+                    raise WireError(
+                        f"events({job_id}): bad event line: {exc}"
+                    ) from None
+        finally:
+            conn.close()
+
+    def wait(
+        self,
+        job_id: str,
+        on_event: Optional[Callable[[Dict], None]] = None,
+        max_reconnects: int = 20,
+        reconnect_delay_s: float = 0.2,
+    ) -> Dict:
+        """Follow a job to completion; returns its final status document.
+
+        Each event is handed to ``on_event`` exactly once, in sequence
+        order, across any number of reconnects: after a transport error
+        the stream is reopened with ``since=<last seq seen>`` and the
+        server replays only the missed suffix.
+        """
+        last_seq = 0
+        reconnects = 0
+        while True:
+            try:
+                for event in self.events(job_id, since=last_seq):
+                    seq = int(event.get("seq", last_seq + 1))
+                    if seq <= last_seq:
+                        continue  # duplicate after a racy reconnect
+                    last_seq = seq
+                    if on_event is not None:
+                        on_event(event)
+                    if event.get("kind") == "job-done":
+                        return self.job(job_id)
+                # Clean end-of-stream: the job finished; confirm state.
+                status = self.job(job_id)
+                if status["state"] in ("done", "failed"):
+                    return status
+            except ServeError:
+                raise
+            except _TRANSPORT_ERRORS as exc:
+                reconnects += 1
+                if reconnects > max_reconnects:
+                    raise ServeError(
+                        f"wait({job_id}): gave up after {max_reconnects} "
+                        f"reconnects (last error: {exc})"
+                    ) from None
+                time.sleep(reconnect_delay_s)
+
+    def result_grid(self, job_id: str) -> ResultGrid:
+        """A finished job's results as a local-run-shaped ResultGrid.
+
+        Raises :class:`ServeError` naming every failed cell if the job
+        did not fully succeed — partial grids are never returned.
+        """
+        doc = self.results(job_id)
+        failed = [
+            f"({c['benchmark']}, {c['label']}): {c.get('error')}"
+            for c in doc["cells"] if c.get("result") is None
+        ]
+        if failed:
+            raise ServeError(
+                f"job {job_id} has {len(failed)} failed cell(s): "
+                + "; ".join(failed)
+            )
+        grid: ResultGrid = {}
+        for cell in doc["cells"]:
+            grid[(cell["benchmark"], cell["label"])] = (
+                SimResult.from_dict(cell["result"])
+            )
+        return grid

@@ -1,0 +1,301 @@
+"""Job queue of the sweep service: dedup, cell states, progress events.
+
+A submitted :class:`~repro.serve.wire.SweepSpec` becomes a :class:`Job`:
+one :class:`CellEntry` per grid cell, resolved through three dedup
+layers before any worker runs anything —
+
+1. **Disk cache** — the executor's content-addressed result cache is
+   probed at submit time; warm cells resolve instantly (source
+   ``"cache"``).  A job resubmitted unchanged is served almost entirely
+   from here.
+2. **In-flight dedup** — a cell whose key another job is *currently*
+   computing subscribes to that computation instead of enqueueing a
+   duplicate (source ``"dedup"``).
+3. **Worker execution** — everything else is enqueued as a
+   :class:`CellTask` and shipped to a worker subprocess (source
+   ``"run"``; a worker that finds the key freshly cached reports
+   ``"cache"``).
+
+Every state change appends a sequence-numbered event to the job's event
+log — the server streams these over chunked JSON, and a client that
+reconnects with ``?since=<seq>`` replays exactly the suffix it missed.
+
+All mutation happens on the server's event loop; the only cross-thread
+surface is the HTTP layer above.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import ServeError
+from ..sim.executor import DiskCache, SweepCell
+from .wire import SERVE_SCHEMA_VERSION, SweepSpec
+
+__all__ = ["CellEntry", "CellTask", "Job", "JobQueue"]
+
+#: Terminal per-cell sources/states.
+_TERMINAL = ("cache", "run", "dedup", "failed")
+
+
+@dataclass
+class CellEntry:
+    """Lifecycle of one grid cell within a job."""
+
+    index: int
+    benchmark: str
+    label: str
+    key: str
+    status: str = "pending"  # pending | running | cache | run | dedup | failed
+    attempts: int = 0
+    wall_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+    def to_wire(self) -> Dict:
+        return {
+            "index": self.index,
+            "benchmark": self.benchmark,
+            "label": self.label,
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_s": self.wall_s,
+            "error": self.error,
+        }
+
+
+@dataclass
+class CellTask:
+    """One unit of worker work: the primary computation for a cache key."""
+
+    job: "Job"
+    index: int
+    cell: SweepCell
+    key: str
+    attempts: int = 0
+    #: (job, index) pairs deduplicated onto this computation.
+    followers: List[Tuple["Job", int]] = field(default_factory=list)
+
+
+class Job:
+    """One submitted sweep and everything known about its progress."""
+
+    def __init__(self, job_id: str, spec: SweepSpec, engine: str,
+                 cells: List[SweepCell], keys: List[str]) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.engine = engine
+        self.tenant = spec.tenant
+        self.cells = cells
+        self.entries = [
+            CellEntry(i, c.benchmark, c.label, k)
+            for i, (c, k) in enumerate(zip(cells, keys))
+        ]
+        #: index -> SimResult wire dict (never SimResult objects: results
+        #: cross the HTTP boundary verbatim, so store the wire form).
+        self.results: Dict[int, Dict] = {}
+        self.events: List[Dict] = []
+        self.state = "queued"  # queued | running | done | failed
+        self.created_ts = time.time()
+        self.finished_ts: Optional[float] = None
+        self.changed = asyncio.Condition()
+
+    # -- accounting ------------------------------------------------------
+
+    def _count(self, status: str) -> int:
+        return sum(1 for e in self.entries if e.status == status)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.entries)
+
+    @property
+    def cache_hits(self) -> int:
+        return self._count("cache")
+
+    @property
+    def executed(self) -> int:
+        return self._count("run")
+
+    @property
+    def deduped(self) -> int:
+        return self._count("dedup")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def resolved(self) -> int:
+        return sum(1 for e in self.entries if e.terminal)
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def stats(self) -> Dict:
+        return {
+            "n_cells": self.n_cells,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "deduped": self.deduped,
+            "failed": self.failed,
+            "resolved": self.resolved,
+        }
+
+    def summary(self) -> Dict:
+        return {
+            "schema": SERVE_SCHEMA_VERSION,
+            "job_id": self.id,
+            "tenant": self.tenant,
+            "engine": self.engine,
+            "state": self.state,
+            "created_ts": self.created_ts,
+            "finished_ts": self.finished_ts,
+            **self.stats(),
+        }
+
+    def status_wire(self) -> Dict:
+        doc = self.summary()
+        doc["cells"] = [e.to_wire() for e in self.entries]
+        return doc
+
+    def results_wire(self) -> Dict:
+        if not self.done:
+            raise ServeError(f"job {self.id} is not finished ({self.state})")
+        return {
+            "schema": SERVE_SCHEMA_VERSION,
+            "job_id": self.id,
+            "state": self.state,
+            "stats": self.stats(),
+            "cells": [
+                {
+                    "benchmark": e.benchmark,
+                    "label": e.label,
+                    "source": e.status,
+                    "error": e.error,
+                    "result": self.results.get(e.index),
+                }
+                for e in self.entries
+            ],
+        }
+
+    # -- events ----------------------------------------------------------
+
+    async def post(self, kind: str, **fields) -> None:
+        """Append one progress event and wake every streaming reader.
+
+        (Named ``post``, not ``emit``: the job event log is service
+        progress, not the typed tracer schema of ``obs/events.py``.)
+        """
+        event = {"seq": len(self.events) + 1, "job_id": self.id,
+                 "kind": kind, **fields}
+        async with self.changed:
+            self.events.append(event)
+            self.changed.notify_all()
+
+    async def _maybe_finish(self) -> None:
+        if self.state in ("done", "failed"):
+            return
+        if all(e.terminal for e in self.entries):
+            self.state = "failed" if self.failed else "done"
+            self.finished_ts = time.time()
+            await self.post("job-done", state=self.state, stats=self.stats())
+
+    # -- cell transitions (called by the queue only) ---------------------
+
+    async def _resolve(self, index: int, status: str, result: Optional[Dict],
+                       wall_s: float = 0.0,
+                       error: Optional[str] = None) -> None:
+        entry = self.entries[index]
+        entry.status = status
+        entry.wall_s = wall_s
+        entry.error = error
+        if result is not None:
+            self.results[index] = result
+        kind = "cell-failed" if status == "failed" else "cell-done"
+        await self.post(kind, benchmark=entry.benchmark, label=entry.label,
+                        index=index, source=status, wall_s=wall_s,
+                        error=error)
+        await self._maybe_finish()
+
+
+class JobQueue:
+    """Deduplicating work queue feeding the server's worker pool."""
+
+    def __init__(self, cache: Optional[DiskCache]) -> None:
+        self.cache = cache
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._next_id = 1
+        self.tasks: "asyncio.Queue[CellTask]" = asyncio.Queue()
+        #: Cache key -> the task currently computing it (in-flight dedup).
+        self._inflight: Dict[str, CellTask] = {}
+
+    def job(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"no such job: {job_id!r}")
+        return job
+
+    def job_list(self) -> List[Job]:
+        return [self.jobs[jid] for jid in self._order]
+
+    async def submit(self, spec: SweepSpec, engine: str) -> Job:
+        """Register a job and resolve/enqueue every cell."""
+        cells = spec.cells()
+        keys = [c.key() for c in cells]
+        job_id = f"j{self._next_id:04d}"
+        self._next_id += 1
+        job = Job(job_id, spec, engine, cells, keys)
+        self.jobs[job_id] = job
+        self._order.append(job_id)
+        job.state = "running"
+        for index, (cell, key) in enumerate(zip(cells, keys)):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                await job._resolve(index, "cache", hit.to_dict())
+                continue
+            primary = self._inflight.get(key)
+            if primary is not None:
+                primary.followers.append((job, index))
+                job.entries[index].status = "running"
+                continue
+            task = CellTask(job, index, cell, key)
+            self._inflight[key] = task
+            job.entries[index].status = "running"
+            await self.tasks.put(task)
+        await job._maybe_finish()
+        return job
+
+    async def requeue(self, task: CellTask) -> None:
+        """Put a task back after a worker death (retry path)."""
+        task.attempts += 1
+        entry = task.job.entries[task.index]
+        entry.attempts = task.attempts
+        await task.job.post("cell-retried", benchmark=entry.benchmark,
+                            label=entry.label, index=task.index,
+                            attempts=task.attempts)
+        await self.tasks.put(task)
+
+    async def task_done(self, task: CellTask, source: str, result: Dict,
+                        wall_s: float) -> None:
+        """Resolve a completed task onto its job and every follower."""
+        self._inflight.pop(task.key, None)
+        await task.job._resolve(task.index, source, result, wall_s)
+        for job, index in task.followers:
+            await job._resolve(index, "dedup", result, 0.0)
+
+    async def task_failed(self, task: CellTask, error: str) -> None:
+        """Mark a task (and its followers) failed."""
+        self._inflight.pop(task.key, None)
+        await task.job._resolve(task.index, "failed", None, error=error)
+        for job, index in task.followers:
+            await job._resolve(index, "failed", None, error=error)

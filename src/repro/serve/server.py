@@ -1,0 +1,525 @@
+"""The sweep service: an asyncio HTTP/JSON job-queue server.
+
+``repro serve`` promotes the single-host sweep executor to a
+long-running service (stdlib only — ``asyncio`` streams plus a minimal
+HTTP/1.1 layer, no web framework):
+
+* **Submit** — ``POST /v1/jobs`` takes a :class:`~repro.serve.wire.SweepSpec`
+  (full frozen config/params dataclasses, same fingerprints as local
+  runs) and answers with a job id.  Malformed payloads get a structured
+  4xx and the server keeps serving.
+* **Dedup** — cells resolve through the executor's content-addressed
+  :class:`~repro.sim.executor.DiskCache` and against in-flight
+  computations of other jobs (see :mod:`repro.serve.queue`); a
+  resubmitted identical grid is served almost entirely from cache.
+* **Shard** — cache-miss cells are distributed over N persistent worker
+  subprocesses (``python -m repro.serve.worker``), each a JSONL pipe
+  speaking the cell wire schema into
+  :func:`repro.sim.executor.run_cell_request`.  A worker that dies
+  mid-cell is replaced and the cell retried on a surviving worker.
+* **Stream** — ``GET /v1/jobs/<id>/events?since=N`` is a chunked-JSON
+  progress stream (one event per chunk); reconnecting clients resume
+  from the last sequence number they saw.  Results
+  (``GET /v1/jobs/<id>/results``) are bit-identical to a local
+  ``run_grid`` of the same spec — enforced by ``make serve-smoke``.
+
+Wire schema and endpoint tables: ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..common.errors import ServeError, WireError
+from ..sim.executor import DiskCache, default_engine
+from .queue import CellTask, Job, JobQueue
+from .wire import SERVE_SCHEMA_VERSION, SweepSpec, encode_cell_request
+
+__all__ = ["ServeServer", "ServerThread", "WorkerDied", "WorkerHandle"]
+
+#: Largest accepted request body (a 48-cell grid spec is ~50KB; this is
+#: head-room, not a scaling limit — big grids are many cells, not big
+#: documents).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_JSON_HEADERS = "Content-Type: application/json\r\nConnection: close\r\n"
+
+
+class WorkerDied(ServeError):
+    """A worker subprocess exited while (or before) resolving a cell."""
+
+
+class WorkerHandle:
+    """One persistent worker subprocess behind a JSONL request pipe."""
+
+    _next_id = 1
+
+    def __init__(self, env: Optional[Dict[str, str]] = None) -> None:
+        self.id = f"w{WorkerHandle._next_id}"
+        WorkerHandle._next_id += 1
+        self.env = env
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.busy = False
+        self.cells_run = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.returncode is None
+
+    async def start(self) -> None:
+        env = dict(os.environ)
+        # The worker must import the same repro tree the server runs,
+        # wherever the server was launched from.
+        pkg_root = str(Path(__file__).resolve().parent.parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        if pkg_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                pkg_root + (os.pathsep + existing if existing else "")
+            )
+        if self.env:
+            env.update(self.env)
+        self.proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-u", "-m", "repro.serve.worker",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=None,  # worker stderr shares the server's (tracebacks)
+            env=env,
+        )
+        # Fail fast on a broken worker (import error, bad PYTHONPATH):
+        # one ping round-trip before the worker joins the pool.
+        pong = await self.request({"kind": "ping"})
+        if pong.get("kind") != "pong":
+            raise WorkerDied(f"worker {self.id}: bad handshake: {pong!r}")
+
+    async def request(self, payload: Dict) -> Dict:
+        """One request/response round-trip; raises WorkerDied on EOF."""
+        if not self.alive:
+            raise WorkerDied(f"worker {self.id} is not running")
+        assert self.proc is not None
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        try:
+            self.proc.stdin.write(line.encode("utf-8"))
+            await self.proc.stdin.drain()
+            raw = await self.proc.stdout.readline()
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise WorkerDied(f"worker {self.id} pipe broke: {exc}") from None
+        if not raw:
+            raise WorkerDied(
+                f"worker {self.id} (pid {self.pid}) exited mid-request"
+            )
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise WorkerDied(
+                f"worker {self.id} wrote a non-JSON line: {exc}"
+            ) from None
+
+    async def stop(self) -> None:
+        if self.proc is None:
+            return
+        if self.alive:
+            try:
+                self.proc.stdin.close()
+            except (OSError, RuntimeError):
+                pass
+            try:
+                await asyncio.wait_for(self.proc.wait(), timeout=2.0)
+            except asyncio.TimeoutError:
+                self.proc.kill()
+                await self.proc.wait()
+
+
+class ServeServer:
+    """The long-running sweep service (one instance per event loop)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        engine: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        max_attempts: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ServeError("need at least one worker")
+        self.host = host
+        self.port = port
+        self.n_workers = workers
+        self.engine = engine if engine is not None else default_engine()
+        self.cache_dir = cache_dir
+        self.max_attempts = max_attempts
+        self.queue = JobQueue(DiskCache(cache_dir))
+        self.workers: List[WorkerHandle] = []
+        self._free: "asyncio.Queue[WorkerHandle]" = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._stopping = asyncio.Event()
+        self._worker_env: Optional[Dict[str, str]] = None
+        if cache_dir is not None:
+            self._worker_env = {"REPRO_CACHE_DIR": str(cache_dir)}
+        self._next_request = 1
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn workers, bind the socket, start dispatching."""
+        for _ in range(self.n_workers):
+            await self._spawn_worker()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+
+    async def _shutdown(self) -> None:
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            try:
+                await self._dispatch_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for worker in self.workers:
+            await worker.stop()
+
+    async def _spawn_worker(self) -> WorkerHandle:
+        worker = WorkerHandle(env=self._worker_env)
+        await worker.start()
+        self.workers.append(worker)
+        await self._free.put(worker)
+        return worker
+
+    # -- work dispatch ---------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            task = await self.queue.tasks.get()
+            worker = await self._free.get()
+            while not worker.alive:
+                # A worker that died idle (e.g. killed externally) is
+                # replaced before it can be handed work.
+                self.workers.remove(worker)
+                await self._spawn_worker()
+                worker = await self._free.get()
+            asyncio.create_task(self._run_task(worker, task))
+
+    async def _run_task(self, worker: WorkerHandle, task: CellTask) -> None:
+        request = encode_cell_request(
+            request_id=f"r{self._next_request}",
+            cell=task.cell,
+            engine=self.engine,
+            job_id=task.job.id,
+            tenant=task.job.tenant,
+            cache_dir=self.cache_dir,
+        )
+        self._next_request += 1
+        worker.busy = True
+        try:
+            response = await worker.request(request)
+        except WorkerDied as exc:
+            # The cell did not complete; replace the worker and retry on
+            # a surviving one unless the retry budget is spent.
+            if worker in self.workers:
+                self.workers.remove(worker)
+            await worker.stop()
+            try:
+                await self._spawn_worker()
+            except WorkerDied:
+                pass  # replacement failed; remaining workers carry on
+            if task.attempts + 1 < self.max_attempts:
+                await self.queue.requeue(task)
+            else:
+                await self.queue.task_failed(
+                    task, f"worker died ({exc}) after "
+                          f"{task.attempts + 1} attempt(s)"
+                )
+            return
+        finally:
+            worker.busy = False
+        worker.cells_run += 1
+        await self._free.put(worker)
+        if response.get("status") == "ok":
+            host = response.get("host") or {}
+            await self.queue.task_done(
+                task,
+                source=str(response.get("source", "run")),
+                result=response["result"],
+                wall_s=float(host.get("wall_s", 0.0)),
+            )
+        else:
+            # A deterministic simulation error: retrying would fail the
+            # same way, so the cell fails with the worker's report.
+            await self.queue.task_failed(
+                task, str(response.get("error", "unknown worker error"))
+            )
+
+    # -- HTTP layer ------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        # lint: allow(EXC001 connection isolation: one bad request/connection must never take the server down)
+        except Exception as exc:
+            try:
+                await self._respond(writer, 500, {
+                    "error": {"kind": type(exc).__name__, "message": str(exc)}
+                })
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        request_line = await reader.readline()
+        if not request_line:
+            return
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            await self._respond(writer, 400,
+                                _err("bad-request", "malformed request line"))
+            return
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        if method == "POST":
+            try:
+                length = int(headers.get("content-length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0 or length > MAX_BODY_BYTES:
+                await self._respond(writer, 400, _err(
+                    "bad-request",
+                    f"invalid or oversized Content-Length "
+                    f"(max {MAX_BODY_BYTES} bytes)"))
+                return
+            if length:
+                body = await reader.readexactly(length)
+        url = urlsplit(target)
+        await self._route(writer, method, url.path,
+                          parse_qs(url.query), body)
+
+    async def _route(self, writer, method: str, path: str,
+                     query: Dict[str, List[str]], body: bytes) -> None:
+        if path == "/v1/health" and method == "GET":
+            await self._respond(writer, 200, self._health())
+            return
+        if path == "/v1/jobs" and method == "POST":
+            await self._submit(writer, body)
+            return
+        if path == "/v1/jobs" and method == "GET":
+            await self._respond(writer, 200, {
+                "schema": SERVE_SCHEMA_VERSION,
+                "jobs": [j.summary() for j in self.queue.job_list()],
+            })
+            return
+        if path == "/v1/shutdown" and method == "POST":
+            await self._respond(writer, 200, {"ok": True, "stopping": True})
+            await self.stop()
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            try:
+                job = self.queue.job(job_id)
+            except ServeError as exc:
+                await self._respond(writer, 404, _err("not-found", str(exc)))
+                return
+            if tail == "" and method == "GET":
+                await self._respond(writer, 200, job.status_wire())
+                return
+            if tail == "events" and method == "GET":
+                since = _int_param(query, "since", 0)
+                await self._stream_events(writer, job, since)
+                return
+            if tail == "results" and method == "GET":
+                try:
+                    await self._respond(writer, 200, job.results_wire())
+                except ServeError as exc:
+                    await self._respond(writer, 409,
+                                        _err("not-finished", str(exc)))
+                return
+        await self._respond(writer, 404,
+                            _err("not-found", f"no route for {method} {path}"))
+
+    def _health(self) -> Dict:
+        return {
+            "ok": True,
+            "schema": SERVE_SCHEMA_VERSION,
+            "engine": self.engine,
+            "cache_root": str(self.queue.cache.root)
+            if self.queue.cache is not None else None,
+            "jobs": len(self.queue.jobs),
+            "pending_cells": self.queue.tasks.qsize(),
+            "workers": [
+                {"id": w.id, "pid": w.pid, "alive": w.alive,
+                 "busy": w.busy, "cells_run": w.cells_run}
+                for w in self.workers
+            ],
+        }
+
+    async def _submit(self, writer, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            await self._respond(writer, 400, _err(
+                "bad-json", f"submit body is not valid JSON: {exc}"))
+            return
+        try:
+            spec = SweepSpec.from_wire(payload)
+        except WireError as exc:
+            await self._respond(writer, 400, _err("bad-spec", str(exc)))
+            return
+        engine = spec.engine if spec.engine is not None else self.engine
+        job = await self.queue.submit(spec, engine)
+        await self._respond(writer, 201, job.summary())
+
+    async def _stream_events(self, writer, job: Job, since: int) -> None:
+        """Chunked JSON event stream: replay after ``since``, then live."""
+        head = (
+            "HTTP/1.1 200 OK\r\n" + _JSON_HEADERS +
+            "Transfer-Encoding: chunked\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        sent = max(0, since)
+        while True:
+            async with job.changed:
+                while len(job.events) <= sent and not job.done:
+                    await job.changed.wait()
+                events = job.events[sent:]
+            for event in events:
+                data = (json.dumps(event, sort_keys=True) + "\n").encode()
+                writer.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+            await writer.drain()
+            sent += len(events)
+            if job.done and sent >= len(job.events):
+                break
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _respond(self, writer, status: int, doc: Dict) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        reason = {200: "OK", 201: "Created", 400: "Bad Request",
+                  404: "Not Found", 409: "Conflict",
+                  500: "Internal Server Error"}.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n" + _JSON_HEADERS +
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+def _err(kind: str, message: str) -> Dict:
+    """Structured error body: every 4xx/5xx answers with this shape."""
+    return {"error": {"kind": kind, "message": message},
+            "schema": SERVE_SCHEMA_VERSION}
+
+
+def _int_param(query: Dict[str, List[str]], name: str, default: int) -> int:
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[0])
+    except ValueError:
+        return default
+
+
+class ServerThread:
+    """A ServeServer on a background thread (tests, smoke tooling).
+
+    The CLI runs the server on the main thread via ``asyncio.run``; this
+    helper exists so synchronous test code can stand a real server up,
+    talk to it over real sockets with the blocking client, and tear it
+    down deterministically.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self.server: Optional[ServeServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "ServeServer":
+        self.start()
+        assert self.server is not None
+        return self.server
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 30.0) -> "ServeServer":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServeError("server thread did not start in time")
+        if self._startup_error is not None:
+            raise ServeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        assert self.server is not None
+        return self.server
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.server = ServeServer(**self._kwargs)
+            self._loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            except BaseException as exc:  # lint: allow(EXC001 startup failures must unblock the waiting foreground thread)
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self.server._stopping.wait()
+            await self.server._shutdown()
+
+        asyncio.run(main())
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.server._stopping.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)

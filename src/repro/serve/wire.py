@@ -1,0 +1,359 @@
+"""Wire schema of the sweep service: specs, cell requests, events.
+
+Everything that crosses a process or network boundary in
+:mod:`repro.serve` is a JSON document described here (full field tables
+in ``docs/SERVICE.md``):
+
+* **Sweep specs** (``POST /v1/jobs`` bodies) carry the *same frozen
+  config/params dataclasses the executor fingerprints* — encoded with
+  the executor's canonical form (class name + every declared field,
+  enums by value) and decoded back into real ``MachineConfig`` /
+  ``SimParams`` instances here.  Because the wire form *is* the
+  canonical form, a decoded spec fingerprints identically to the
+  client's original objects, which is what makes server-side
+  deduplication through the content-addressed result cache sound.
+
+* **Cell requests/responses** are the worker protocol: the server ships
+  one request per grid cell to a ``repro.serve.worker`` subprocess over
+  stdin/stdout JSONL; :func:`repro.sim.executor.run_cell_request` is
+  the runner behind it.
+
+Every malformed payload raises :class:`~repro.common.errors.WireError`
+naming the offending field; the server maps these to structured 4xx
+responses rather than dying or answering 500.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    FuncUnitMix,
+    MachineConfig,
+    MemorySystemConfig,
+    SidecarConfig,
+    SimParams,
+    ThreadUnitConfig,
+    WrongExecutionConfig,
+)
+from ..common.errors import ConfigError, WireError
+from ..sim.driver import ENGINES
+from ..sim.executor import (
+    CELL_WIRE_SCHEMA_VERSION,
+    SweepCell,
+    _canonical,
+    cell_key,
+)
+from ..sim.sweep import grid_cells
+from ..workloads.benchmarks import BENCHMARK_NAMES
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION",
+    "CellRequest",
+    "SweepSpec",
+    "decode_cell_request",
+    "decode_config",
+    "decode_params",
+    "encode_dataclass",
+]
+
+#: Version of the HTTP-facing documents (submit specs, job status,
+#: event records).  Bumped on incompatible change; both sides reject
+#: unknown versions with a structured error.
+SERVE_SCHEMA_VERSION = 1
+
+#: The config dataclasses allowed on the wire, by canonical class name.
+#: Decoding is a closed world: any other ``__class__`` is rejected —
+#: the wire layer must never be a generic unpickler.
+_WIRE_CLASSES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        BranchPredictorConfig,
+        CacheConfig,
+        FuncUnitMix,
+        MachineConfig,
+        MemorySystemConfig,
+        SidecarConfig,
+        SimParams,
+        ThreadUnitConfig,
+        WrongExecutionConfig,
+    )
+}
+
+_hints_cache: Dict[type, Dict[str, object]] = {}
+
+
+def encode_dataclass(obj: object) -> Dict:
+    """Encode a config dataclass in the executor's canonical wire form."""
+    encoded = _canonical(obj)
+    if not isinstance(encoded, dict) or "__class__" not in encoded:
+        raise WireError(f"not an encodable dataclass: {type(obj).__name__}")
+    return encoded
+
+
+def _decode_dataclass(data: object, path: str) -> object:
+    if not isinstance(data, dict):
+        raise WireError(f"{path}: expected an object, got {type(data).__name__}")
+    cls_name = data.get("__class__")
+    cls = _WIRE_CLASSES.get(cls_name)  # type: ignore[arg-type]
+    if cls is None:
+        raise WireError(f"{path}: unknown dataclass {cls_name!r}")
+    hints = _hints_cache.get(cls)
+    if hints is None:
+        hints = typing.get_type_hints(cls)
+        _hints_cache[cls] = hints
+    declared = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - declared - {"__class__"})
+    if unknown:
+        raise WireError(
+            f"{path}: unknown field(s) for {cls_name}: {', '.join(unknown)}"
+        )
+    kwargs = {}
+    for name in declared:
+        if name not in data:
+            continue  # dataclass default applies
+        value = data[name]
+        hint = hints.get(name)
+        child = f"{path}.{name}"
+        if isinstance(value, dict) and "__class__" in value:
+            kwargs[name] = _decode_dataclass(value, child)
+        elif isinstance(hint, type) and issubclass(hint, enum.Enum):
+            try:
+                kwargs[name] = hint(value)
+            except ValueError:
+                raise WireError(
+                    f"{child}: {value!r} is not a valid {hint.__name__}"
+                ) from None
+        else:
+            kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except (ConfigError, TypeError, ValueError) as exc:
+        raise WireError(f"{path}: {cls_name} rejected: {exc}") from None
+
+
+def decode_config(data: object, path: str = "config") -> MachineConfig:
+    """Decode a canonical-form machine configuration."""
+    obj = _decode_dataclass(data, path)
+    if not isinstance(obj, MachineConfig):
+        raise WireError(f"{path}: expected MachineConfig, got {type(obj).__name__}")
+    return obj
+
+
+def decode_params(data: object, path: str = "params") -> SimParams:
+    """Decode canonical-form simulation parameters."""
+    obj = _decode_dataclass(data, path)
+    if not isinstance(obj, SimParams):
+        raise WireError(f"{path}: expected SimParams, got {type(obj).__name__}")
+    return obj
+
+
+def _require(data: Dict, field: str, kind: type, path: str):
+    if field not in data:
+        raise WireError(f"{path}: missing required field {field!r}")
+    value = data[field]
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind) or (kind is not bool and isinstance(value, bool)):
+        raise WireError(
+            f"{path}.{field}: expected {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Sweep specs (submit payloads)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One submitted sweep: a (benchmark × config) grid plus knobs.
+
+    ``configs`` preserves submission order — the grid resolves in the
+    exact cell order :func:`repro.sim.sweep.grid_cells` would produce
+    locally, which keeps service results and ``run_grid`` output
+    comparable cell by cell.
+    """
+
+    benchmarks: Tuple[str, ...]
+    configs: Tuple[Tuple[str, MachineConfig], ...]
+    params: SimParams
+    #: Engine for executed cells; ``None`` = the server's default.
+    engine: Optional[str] = None
+    #: Provenance tenant stamped on every ledger record of this job.
+    tenant: str = "default"
+
+    def cells(self) -> List[SweepCell]:
+        """The grid cells, in canonical local order."""
+        return grid_cells(dict(self.configs), list(self.benchmarks),
+                          self.params)
+
+    def to_wire(self) -> Dict:
+        return {
+            "kind": "sweep-spec",
+            "schema": SERVE_SCHEMA_VERSION,
+            "benchmarks": list(self.benchmarks),
+            "configs": [
+                {"label": label, "config": encode_dataclass(cfg)}
+                for label, cfg in self.configs
+            ],
+            "params": encode_dataclass(self.params),
+            "engine": self.engine,
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_wire(cls, data: object) -> "SweepSpec":
+        """Decode and validate a submit payload (raises WireError)."""
+        if not isinstance(data, dict):
+            raise WireError("submit payload must be a JSON object")
+        path = "spec"
+        schema = data.get("schema")
+        if schema != SERVE_SCHEMA_VERSION:
+            raise WireError(
+                f"{path}.schema: unsupported version {schema!r} "
+                f"(this server speaks {SERVE_SCHEMA_VERSION})"
+            )
+        benchmarks = _require(data, "benchmarks", list, path)
+        if not benchmarks:
+            raise WireError(f"{path}.benchmarks: empty benchmark list")
+        for i, name in enumerate(benchmarks):
+            if not isinstance(name, str):
+                raise WireError(f"{path}.benchmarks[{i}]: expected a name")
+            if name not in BENCHMARK_NAMES:
+                raise WireError(
+                    f"{path}.benchmarks[{i}]: unknown benchmark {name!r} "
+                    f"(known: {', '.join(BENCHMARK_NAMES)})"
+                )
+        raw_configs = _require(data, "configs", list, path)
+        if not raw_configs:
+            raise WireError(f"{path}.configs: empty configuration axis")
+        configs: List[Tuple[str, MachineConfig]] = []
+        seen_labels = set()
+        for i, entry in enumerate(raw_configs):
+            epath = f"{path}.configs[{i}]"
+            if not isinstance(entry, dict):
+                raise WireError(f"{epath}: expected an object")
+            label = _require(entry, "label", str, epath)
+            if label in seen_labels:
+                raise WireError(f"{epath}: duplicate label {label!r}")
+            seen_labels.add(label)
+            configs.append(
+                (label, decode_config(entry.get("config"), f"{epath}.config"))
+            )
+        params = decode_params(data.get("params"), f"{path}.params")
+        engine = data.get("engine")
+        if engine is not None and engine not in ENGINES:
+            raise WireError(
+                f"{path}.engine: unknown engine {engine!r} "
+                f"(expected one of: {', '.join(ENGINES)})"
+            )
+        tenant = data.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise WireError(f"{path}.tenant: expected a non-empty string")
+        return cls(
+            benchmarks=tuple(benchmarks),
+            configs=tuple(configs),
+            params=params,
+            engine=engine,
+            tenant=tenant,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker protocol (cell requests/responses)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellRequest:
+    """One decoded cell-request: the unit of work a worker resolves."""
+
+    id: str
+    cell: SweepCell
+    engine: str
+    job_id: str
+    tenant: str
+    cache: bool = True
+    cache_dir: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.cell.benchmark, self.cell.config,
+                        self.cell.params)
+
+
+def encode_cell_request(
+    request_id: str,
+    cell: SweepCell,
+    engine: str,
+    job_id: str,
+    tenant: str,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> Dict:
+    """Encode one cell for the worker pipe."""
+    return {
+        "kind": "cell-request",
+        "schema": CELL_WIRE_SCHEMA_VERSION,
+        "id": request_id,
+        "benchmark": cell.benchmark,
+        "label": cell.label,
+        "config": encode_dataclass(cell.config),
+        "params": encode_dataclass(cell.params),
+        "engine": engine,
+        "job_id": job_id,
+        "tenant": tenant,
+        "cache": cache,
+        "cache_dir": cache_dir,
+    }
+
+
+def decode_cell_request(data: object) -> CellRequest:
+    """Decode and validate one worker cell request (raises WireError)."""
+    if not isinstance(data, dict):
+        raise WireError("cell request must be a JSON object")
+    path = "cell-request"
+    if data.get("kind") != "cell-request":
+        raise WireError(f"{path}.kind: expected 'cell-request', "
+                        f"got {data.get('kind')!r}")
+    schema = data.get("schema")
+    if schema != CELL_WIRE_SCHEMA_VERSION:
+        raise WireError(
+            f"{path}.schema: unsupported version {schema!r} "
+            f"(this worker speaks {CELL_WIRE_SCHEMA_VERSION})"
+        )
+    request_id = _require(data, "id", str, path)
+    benchmark = _require(data, "benchmark", str, path)
+    label = _require(data, "label", str, path)
+    engine = _require(data, "engine", str, path)
+    if engine not in ENGINES:
+        raise WireError(
+            f"{path}.engine: unknown engine {engine!r} "
+            f"(expected one of: {', '.join(ENGINES)})"
+        )
+    config = decode_config(data.get("config"), f"{path}.config")
+    params = decode_params(data.get("params"), f"{path}.params")
+    cache = data.get("cache", True)
+    if not isinstance(cache, bool):
+        raise WireError(f"{path}.cache: expected a boolean")
+    cache_dir = data.get("cache_dir")
+    if cache_dir is not None and not isinstance(cache_dir, str):
+        raise WireError(f"{path}.cache_dir: expected a string or null")
+    return CellRequest(
+        id=request_id,
+        cell=SweepCell(benchmark, label, config, params),
+        engine=engine,
+        job_id=str(data.get("job_id", "")),
+        tenant=str(data.get("tenant", "default")),
+        cache=cache,
+        cache_dir=cache_dir,
+    )

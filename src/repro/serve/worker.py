@@ -1,0 +1,61 @@
+"""Worker-subprocess entry point of the sweep service.
+
+``python -m repro.serve.worker`` is what ``repro serve`` spawns N times:
+a loop reading one JSON request per stdin line and writing one JSON
+response per stdout line.  Two request kinds exist —
+
+* ``{"kind": "ping"}`` → ``{"kind": "pong", "pid": ...}``; the server
+  sends one at spawn so a broken worker (import error, wrong
+  ``PYTHONPATH``) fails the handshake instead of dying on its first
+  real cell.
+* ``{"kind": "cell-request", ...}`` → handed to
+  :func:`repro.sim.executor.run_cell_request`, which owns cache probe,
+  simulation, cache publish and perf-ledger provenance.
+
+The loop itself never raises across the pipe: undecodable input lines
+come back as ``status: "err"`` responses, and EOF on stdin is the
+shutdown signal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict
+
+from ..sim.executor import CELL_WIRE_SCHEMA_VERSION, run_cell_request
+
+__all__ = ["handle_line", "main"]
+
+
+def handle_line(line: str) -> Dict:
+    """Resolve one request line into one response document."""
+    try:
+        request = json.loads(line)
+    except ValueError as exc:
+        return {
+            "kind": "cell-response",
+            "schema": CELL_WIRE_SCHEMA_VERSION,
+            "id": None,
+            "status": "err",
+            "error": f"request line is not valid JSON: {exc}",
+            "traceback": None,
+        }
+    if isinstance(request, dict) and request.get("kind") == "ping":
+        return {"kind": "pong", "pid": os.getpid()}
+    return run_cell_request(request)
+
+
+def main() -> int:
+    for line in sys.stdin:
+        if not line.strip():
+            continue
+        response = handle_line(line)
+        sys.stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

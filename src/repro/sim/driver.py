@@ -12,7 +12,6 @@ This is the main public entry point::
 from __future__ import annotations
 
 import time
-import warnings
 from typing import Optional, Union
 
 from ..common.config import MachineConfig, SimParams
@@ -32,13 +31,26 @@ from ..workloads.tracegen import TraceGenerator
 from .fast import run_program_fast
 from .results import SimResult
 
-__all__ = ["ENGINES", "run_simulation", "run_program"]
+__all__ = ["ENGINES", "OBSERVER_POLICY_MSG", "run_simulation", "run_program"]
 
 #: Recognised simulation engines.  ``oracle`` is the reference
 #: event-level interpreter below; ``fast`` is the compiled trace-replay
 #: engine in :mod:`repro.sim.fast`, bit-identical on results but
 #: without event-level observer hooks.
 ENGINES = ("oracle", "fast")
+
+#: The one observer/engine policy (docs/OBSERVABILITY.md, "Engines and
+#: observers"): every event-level observer — tracer, sanitizer (kwarg
+#: *or* ``REPRO_SANITIZE=1``), attribution collector — requires the
+#: oracle interpreter, and asking the fast engine to honour one is
+#: always the same loud :class:`ConfigError`, never a warning or a
+#: silent fallback.  ``{names}`` lists the active observers.
+OBSERVER_POLICY_MSG = (
+    "engine='fast' has no event-level observer hooks, but {names} "
+    "is/are active; re-run with --engine oracle (engine='oracle' / "
+    "REPRO_ENGINE=oracle) to keep the observer(s), or drop them to "
+    "keep the fast engine"
+)
 
 
 def run_simulation(
@@ -120,11 +132,12 @@ def run_program(
             f"unknown engine {engine!r} (expected one of {', '.join(ENGINES)})"
         )
     if engine == "fast":
-        # Event-level observers need the oracle's replay.  Explicitly
-        # passed ones are a caller contradiction (hard error); a
-        # sanitizer auto-created from REPRO_SANITIZE is an environment
-        # knob colliding with an engine knob — the checking mode wins,
-        # with a visible downgrade.
+        # One policy for every event-level observer (OBSERVER_POLICY_MSG
+        # above): tracer, sanitizer and attrib — whether passed as
+        # kwargs or auto-created from REPRO_SANITIZE=1 — always raise
+        # the same ConfigError naming the --engine oracle escape hatch.
+        # (Historically kwargs raised while the env sanitizer warned and
+        # fell back; three behaviours for one constraint.)
         blockers = [
             name
             for name, obs in (
@@ -133,32 +146,24 @@ def run_program(
             )
             if obs is not None
         ]
+        if sanitizer is None and maybe_sanitizer(None) is not None:
+            blockers.append("sanitizer (from REPRO_SANITIZE=1)")
         if blockers:
             raise ConfigError(
-                "engine='fast' cannot honour event-level observers "
-                f"({', '.join(blockers)}); use engine='oracle' for "
-                "traced/sanitized/attributed runs"
+                OBSERVER_POLICY_MSG.format(names=", ".join(blockers))
             )
-        if maybe_sanitizer(None) is not None:
-            warnings.warn(
-                "REPRO_SANITIZE=1 requires the oracle engine; "
-                "falling back from engine='fast'",
-                RuntimeWarning,
-                stacklevel=2,
+        # The host profiler never touches sim state; the fast
+        # engine has no component sections, so the whole run lands
+        # in one bucket.
+        if profiler is not None:
+            t0 = time.perf_counter()  # lint: allow(DET001 host profiling; never feeds sim state)
+            result = run_program_fast(program, config, params)
+            profiler.add(
+                "engine.fast",
+                time.perf_counter() - t0,  # lint: allow(DET001 host profiling; never feeds sim state)
             )
-        else:
-            # The host profiler never touches sim state; the fast
-            # engine has no component sections, so the whole run lands
-            # in one bucket.
-            if profiler is not None:
-                t0 = time.perf_counter()  # lint: allow(DET001 host profiling; never feeds sim state)
-                result = run_program_fast(program, config, params)
-                profiler.add(
-                    "engine.fast",
-                    time.perf_counter() - t0,  # lint: allow(DET001 host profiling; never feeds sim state)
-                )
-                return result
-            return run_program_fast(program, config, params)
+            return result
+        return run_program_fast(program, config, params)
     sanitizer = maybe_sanitizer(sanitizer)
     machine_tracer = tracer
     if profiler is not None and tracer is not None:

@@ -50,6 +50,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import tempfile
 import time
 import traceback
 import warnings
@@ -69,9 +70,12 @@ from .results import SimResult
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CELL_WIRE_SCHEMA_VERSION",
+    "CacheStats",
     "CellFailure",
     "CellRecord",
     "DiskCache",
+    "PruneResult",
     "SweepCell",
     "SweepOutcome",
     "SweepStats",
@@ -79,9 +83,11 @@ __all__ = [
     "code_version_token",
     "config_fingerprint",
     "default_cache_root",
+    "default_cache_quota_mb",
     "default_engine",
     "default_jobs",
     "run_cell",
+    "run_cell_request",
     "run_cells",
 ]
 
@@ -186,6 +192,62 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def default_cache_quota_mb() -> Optional[float]:
+    """``$REPRO_CACHE_MAX_MB`` as a positive float, or ``None`` (no quota).
+
+    A quota makes the cache safe to share between tenants of the sweep
+    service: without one, every submitted grid grows the directory
+    forever.  A malformed or non-positive value is a loud
+    :class:`ConfigError` — a typo'd quota silently meaning "unlimited"
+    is exactly the failure mode a quota exists to prevent.
+    """
+    raw = os.environ.get("REPRO_CACHE_MAX_MB", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_CACHE_MAX_MB={raw!r} is not a number (megabytes)"
+        ) from None
+    if value <= 0:
+        raise ConfigError(f"REPRO_CACHE_MAX_MB={raw!r} must be positive")
+    return value
+
+
+@dataclass
+class CacheStats:
+    """Size accounting for one :class:`DiskCache` directory."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    quota_mb: Optional[float] = None
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024 * 1024)
+
+    def to_dict(self) -> Dict:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "total_mb": self.total_mb,
+            "quota_mb": self.quota_mb,
+        }
+
+
+@dataclass
+class PruneResult:
+    """What one :meth:`DiskCache.prune` pass removed and kept."""
+
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+
+
 def _json_default(obj: object) -> object:
     # numpy scalars (np.int64 cycle counts etc.) leak into counter dumps;
     # .item() turns them into plain Python numbers.
@@ -200,25 +262,57 @@ class DiskCache:
 
     Layout: ``<root>/results/v<schema>/<key[:2]>/<key>.json`` — one JSON
     document per cell, sharded by key prefix to keep directories small.
-    Writes are atomic (temp file + ``os.replace``), so a crashed or
-    concurrent run never leaves a half-written entry; unreadable entries
-    are treated as misses and deleted.
+    Writes go through a uniquely named temp file in the entry's own
+    directory (:func:`tempfile.mkstemp`) followed by an atomic
+    ``os.replace``: two workers — processes *or* threads — filling the
+    same key concurrently each publish a complete document and the last
+    writer wins; a reader can never observe a torn entry.  Unreadable
+    entries are treated as misses and deleted.
+
+    Eviction: when a quota is set (``max_mb`` argument or
+    ``$REPRO_CACHE_MAX_MB``), :meth:`put` periodically prunes the
+    least-recently-*used* entries — :meth:`get` refreshes an entry's
+    mtime on every hit, so hot cells survive and cold ones age out.
+    The scan runs every :data:`PRUNE_INTERVAL` puts (``1`` = every put),
+    so the directory can transiently overshoot the quota by at most that
+    many entries between scans.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    #: Puts between quota scans (``$REPRO_CACHE_PRUNE_EVERY`` overrides;
+    #: a full-directory size scan per put would make large sweeps O(n²)).
+    PRUNE_INTERVAL = 16
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        max_mb: Optional[float] = None,
+    ) -> None:
         base = Path(root) if root is not None else default_cache_root()
         self.root = base / "results" / f"v{CACHE_SCHEMA_VERSION}"
+        self.max_mb = max_mb if max_mb is not None else default_cache_quota_mb()
+        try:
+            self._prune_interval = max(
+                1, int(os.environ.get("REPRO_CACHE_PRUNE_EVERY",
+                                      str(self.PRUNE_INTERVAL)))
+            )
+        except ValueError:
+            self._prune_interval = self.PRUNE_INTERVAL
+        self._puts_since_prune = 0
         self._write_warned = False
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (no read/validate; ``get`` still decides)."""
+        return self._path(key).is_file()
 
     def get(self, key: str) -> Optional[SimResult]:
         """The cached result for ``key``, or ``None`` on a miss."""
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return SimResult.from_dict(json.load(fh))
+                result = SimResult.from_dict(json.load(fh))
         except FileNotFoundError:
             return None
         except (OSError, ValueError, KeyError, TypeError):
@@ -229,6 +323,13 @@ class DiskCache:
             except OSError:
                 pass
             return None
+        try:
+            # LRU bookkeeping: a hit marks the entry recently used so
+            # quota pruning evicts cold cells first.
+            os.utime(path)
+        except OSError:
+            pass
+        return result
 
     def put(self, key: str, result: SimResult) -> None:
         """Persist ``result`` under ``key`` (atomic, last-writer-wins).
@@ -238,12 +339,19 @@ class DiskCache:
         (with a one-time warning) instead of failing the sweep.
         """
         path = self._path(key)
+        tmp: Optional[str] = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with open(tmp, "w", encoding="utf-8") as fh:
+            # mkstemp (not a pid-derived name): unique per *writer*, so
+            # two threads of one process racing on the same key cannot
+            # interleave writes into a shared temp file.
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(result.to_dict(), fh, default=_json_default)
             os.replace(tmp, path)
+            tmp = None
         except OSError as exc:
             if not self._write_warned:
                 self._write_warned = True
@@ -253,6 +361,73 @@ class DiskCache:
                     RuntimeWarning,
                     stacklevel=2,
                 )
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        if self.max_mb is not None:
+            self._puts_since_prune += 1
+            if self._puts_since_prune >= self._prune_interval:
+                self._puts_since_prune = 0
+                self.prune(self.max_mb)
+
+    def _entries(self) -> List[Tuple[Path, float, int]]:
+        """Every entry as ``(path, mtime, size)``; vanished files skipped."""
+        out: List[Tuple[Path, float, int]] = []
+        if not self.root.is_dir():
+            return out
+        for path in self.root.rglob("*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # concurrently pruned/replaced
+            out.append((path, st.st_mtime, st.st_size))
+        return out
+
+    def stats(self) -> CacheStats:
+        """Entry count and total size of the cache directory."""
+        stats = CacheStats(root=str(self.root), quota_mb=self.max_mb)
+        for _path, _mtime, size in self._entries():
+            stats.entries += 1
+            stats.total_bytes += size
+        return stats
+
+    def prune(self, max_mb: Optional[float] = None) -> PruneResult:
+        """Evict least-recently-used entries until the cache fits ``max_mb``.
+
+        ``max_mb`` defaults to the instance quota; calling without either
+        is a :class:`ConfigError` (an unbounded prune would empty the
+        cache).  Eviction order is mtime (oldest first) — :meth:`get`
+        touches entries on hit, making this true LRU rather than
+        fill-order FIFO.  Concurrent writers are safe: a vanished file
+        is skipped, and an entry refreshed mid-prune at worst survives
+        one extra round.
+        """
+        if max_mb is None:
+            max_mb = self.max_mb
+        if max_mb is None:
+            raise ConfigError(
+                "prune needs a quota: pass max_mb or set REPRO_CACHE_MAX_MB"
+            )
+        budget = int(max_mb * 1024 * 1024)
+        entries = sorted(self._entries(), key=lambda e: (-e[1], e[0]))
+        result = PruneResult()
+        used = 0
+        for path, _mtime, size in entries:
+            if used + size <= budget:
+                used += size
+                result.kept += 1
+                result.kept_bytes += size
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            result.removed += 1
+            result.freed_bytes += size
+        return result
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
@@ -459,6 +634,97 @@ def _execute_cell(
     # lint: allow(EXC001 worker isolation boundary: one bad cell is reported by key, never kills the sweep)
     except Exception as exc:
         return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+#: Version of the cell request/response wire schema spoken between the
+#: sweep service and its workers (``repro.serve.worker``).  Bumped on
+#: any incompatible change; both sides reject unknown versions loudly.
+CELL_WIRE_SCHEMA_VERSION = 1
+
+
+def run_cell_request(request: Dict) -> Dict:
+    """Worker-side cell runner: resolve one wire-schema cell request.
+
+    This is the stable boundary the sweep service shards work across
+    (``repro serve`` workers call it in a loop over stdin/stdout JSONL;
+    schema documented in ``docs/SERVICE.md``).  A request carries the
+    benchmark name, the *full* canonicalized config/params dataclasses
+    (decoded by :mod:`repro.serve.wire`), the engine, and job/tenant
+    provenance.  The runner resolves the cell exactly like
+    :func:`run_cells` does for one cell: disk-cache probe first (another
+    worker or an earlier job may have filled the key), then simulate,
+    then publish to the cache.  When ``$REPRO_PERF_DIR`` is set,
+    executed cells land in the perf ledger with ``job_id``/``tenant``
+    stamped into provenance.
+
+    Responses are always well-formed wire dicts — a failing cell returns
+    ``status: "err"`` with the error and traceback; exceptions never
+    cross the pipe.
+    """
+    # Local import: repro.serve depends on this module at import time
+    # (cell_key, DiskCache); the reverse dependency stays call-time only.
+    from ..serve.wire import decode_cell_request
+
+    try:
+        req = decode_cell_request(request)
+    # lint: allow(EXC001 wire boundary: any undecodable request must come back as a structured error response, never kill the worker)
+    except Exception as exc:
+        return {
+            "kind": "cell-response",
+            "schema": CELL_WIRE_SCHEMA_VERSION,
+            "id": request.get("id") if isinstance(request, dict) else None,
+            "status": "err",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+    response: Dict = {
+        "kind": "cell-response",
+        "schema": CELL_WIRE_SCHEMA_VERSION,
+        "id": req.id,
+        "key": req.key,
+        "benchmark": req.cell.benchmark,
+        "label": req.cell.label,
+    }
+    dcache = DiskCache(req.cache_dir) if req.cache else None
+    if dcache is not None:
+        hit = dcache.get(req.key)
+        if hit is not None:
+            response.update(status="ok", source="cache",
+                            result=hit.to_dict(), host={"wall_s": 0.0})
+            return response
+    perf_root = default_perf_dir()
+    perf_on = perf_root is not None
+    payload = _execute_cell(req.cell.benchmark, req.cell.config,
+                            req.cell.params, profile=perf_on,
+                            engine=req.engine)
+    status, first, second = payload
+    if status != "ok":
+        response.update(status="err", error=str(first),
+                        traceback=str(second))
+        return response
+    result = SimResult.from_dict(first)  # type: ignore[arg-type]
+    host: Dict = dict(second)  # type: ignore[arg-type]
+    if dcache is not None:
+        dcache.put(req.key, result)
+    if perf_on:
+        rss = host.get("peak_rss_kb")
+        Ledger(perf_root).append(
+            PerfRecord.from_result(
+                result,
+                wall_s=float(host["wall_s"]),
+                profile=host.get("profile"),
+                peak_rss_kb=int(rss) if rss is not None else None,
+                context="serve.worker",
+                config_fp=config_fingerprint(req.cell.config),
+                params_fp=config_fingerprint(req.cell.params),
+                code_token=code_version_token(),
+                engine=req.engine,
+                extra_provenance={"job_id": req.job_id,
+                                  "tenant": req.tenant},
+            )
+        )
+    response.update(status="ok", source="run", result=first, host=host)
+    return response
 
 
 def _fork_available() -> bool:

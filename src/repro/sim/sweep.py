@@ -23,10 +23,36 @@ from ..workloads.benchmarks import BENCHMARK_NAMES
 from .executor import SweepCell, run_cells
 from .results import SimResult
 
-__all__ = ["run_grid", "run_config_axis", "ResultGrid"]
+__all__ = ["grid_cells", "run_grid", "run_config_axis", "ResultGrid"]
 
 #: (benchmark name, axis label) -> SimResult
 ResultGrid = Dict[Tuple[str, str], SimResult]
+
+
+def grid_cells(
+    configs: Mapping[str, MachineConfig],
+    benchmarks: Optional[Sequence[str]] = None,
+    params: SimParams = SimParams(),
+) -> List[SweepCell]:
+    """Expand a {label: config} axis × benchmarks into ordered cells.
+
+    This is the single source of grid *order* — benchmarks outermost,
+    axis labels in mapping order — shared by :func:`run_grid` and the
+    sweep service (:mod:`repro.serve`), so a grid submitted remotely
+    resolves cell-for-cell identically to a local run.
+    """
+    if not configs:
+        raise AnalysisError("empty configuration axis")
+    bench_names = (
+        list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
+    )
+    if not bench_names:
+        raise AnalysisError("empty benchmark list")
+    return [
+        SweepCell(bname, label, cfg, params)
+        for bname in bench_names
+        for label, cfg in configs.items()
+    ]
 
 
 def run_grid(
@@ -55,14 +81,7 @@ def run_grid(
     ``perf_context``.  ``engine`` selects the simulation engine for
     executed cells (``None``: ``$REPRO_ENGINE`` or ``oracle``).
     """
-    if not configs:
-        raise AnalysisError("empty configuration axis")
-    bench_names = list(benchmarks) if benchmarks is not None else list(BENCHMARK_NAMES)
-    cells = [
-        SweepCell(bname, label, cfg, params)
-        for bname in bench_names
-        for label, cfg in configs.items()
-    ]
+    cells = grid_cells(configs, benchmarks, params)
     outcome = run_cells(
         cells,
         jobs=jobs,

@@ -226,3 +226,147 @@ class TestRunCell:
         b = run_cell("175.vpr", named_config("vc"), TINY, cache_dir=tmp_path)
         assert a == b
         assert len(DiskCache(tmp_path)) == 1
+
+
+class TestCacheAtomicity:
+    """Crash/concurrency safety of ``DiskCache.put`` (tempfile + replace)."""
+
+    def test_concurrent_writers_same_key_never_tear(self, tmp_path):
+        # Many threads hammering one key must each publish a *complete*
+        # document: the winning entry decodes to the result, and no
+        # reader in between may ever see a torn/partial file.
+        import threading
+
+        cache = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        key = "aa" + "5" * 62
+        errors = []
+
+        def writer():
+            for _ in range(25):
+                cache.put(key, result)
+
+        def reader():
+            for _ in range(50):
+                got = DiskCache(tmp_path).get(key)
+                if got is not None and got != result:
+                    errors.append("torn read")
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.get(key) == result
+        # No temp droppings left behind.
+        leftovers = [p for p in cache.root.rglob("*.tmp")]
+        assert leftovers == []
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        import threading
+
+        cache = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        keys = [f"{i:02x}" + "6" * 62 for i in range(16)]
+
+        def writer(my_keys):
+            for k in my_keys:
+                cache.put(k, result)
+
+        threads = [
+            threading.Thread(target=writer, args=(keys[i::4],))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == len(keys)
+        assert all(cache.get(k) == result for k in keys)
+
+
+class TestCacheQuota:
+    """LRU eviction and the ``$REPRO_CACHE_MAX_MB`` quota."""
+
+    @pytest.fixture()
+    def filled(self, tmp_path):
+        import os as _os
+
+        cache = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        keys = [f"{i:02x}" + "7" * 62 for i in range(6)]
+        for age, key in enumerate(keys):
+            cache.put(key, result)
+            # Deterministic, strictly increasing recency: keys[0] oldest.
+            _os.utime(cache._path(key), (1_000_000 + age, 1_000_000 + age))
+        return cache, keys, result
+
+    def entry_mb(self, cache):
+        return cache.stats().total_bytes / len(cache) / (1024 * 1024)
+
+    def test_stats_counts_entries_and_bytes(self, filled):
+        cache, keys, _ = filled
+        stats = cache.stats()
+        assert stats.entries == len(keys)
+        assert stats.total_bytes > 0
+        assert stats.quota_mb is None
+        assert stats.to_dict()["entries"] == len(keys)
+
+    def test_prune_evicts_oldest_first(self, filled):
+        cache, keys, result = filled
+        budget = self.entry_mb(cache) * 2.5  # room for two entries
+        pruned = cache.prune(budget)
+        assert pruned.removed == 4
+        assert pruned.kept == 2
+        # The two *newest* survive.
+        assert cache.get(keys[-1]) == result
+        assert cache.get(keys[-2]) == result
+        assert cache.get(keys[0]) is None
+
+    def test_get_refreshes_recency(self, filled):
+        import os as _os
+
+        cache, keys, result = filled
+        # Touch the oldest entry through get(); it must now outlive the
+        # untouched middle entries (true LRU, not fill-order FIFO).
+        assert cache.get(keys[0]) == result
+        _os.utime(cache._path(keys[0]), (2_000_000, 2_000_000))
+        cache.prune(self.entry_mb(cache) * 1.5)
+        assert cache.get(keys[0]) == result
+        assert cache.get(keys[1]) is None
+
+    def test_prune_without_quota_raises(self, tmp_path):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="REPRO_CACHE_MAX_MB"):
+            DiskCache(tmp_path).prune()
+
+    def test_put_autoprunes_under_quota(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_PRUNE_EVERY", "1")
+        probe = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        probe.put("00" + "8" * 62, result)
+        budget = probe.stats().total_mb * 2.5
+        cache = DiskCache(tmp_path, max_mb=budget)
+        for i in range(1, 8):
+            cache.put(f"{i:02x}" + "8" * 62, result)
+        # Every put scanned (interval 1): the directory never holds more
+        # than the quota allows.
+        assert len(cache) <= 2
+
+    def test_env_quota_parsing(self, monkeypatch):
+        from repro.common.errors import ConfigError
+        from repro.sim.executor import default_cache_quota_mb
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert default_cache_quota_mb() is None
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "64")
+        assert default_cache_quota_mb() == 64.0
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "not-a-number")
+        with pytest.raises(ConfigError, match="REPRO_CACHE_MAX_MB"):
+            default_cache_quota_mb()
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "-3")
+        with pytest.raises(ConfigError, match="positive"):
+            default_cache_quota_mb()

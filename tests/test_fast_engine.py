@@ -44,6 +44,22 @@ SEEDS = (2003, 7, 42)
 SCALE = 1e-5
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _no_env_sanitizer():
+    """Strip a process-wide ``REPRO_SANITIZE=1`` (the CI sanitize leg).
+
+    The observer policy is raise-not-fallback: with the env sanitizer
+    active, every ``engine="fast"`` call here would be a ConfigError by
+    design.  These tests pin engines explicitly and test the sanitizer
+    interplay on purpose (TestEngineSelection), so the ambient knob is
+    removed first.  Module-scoped so it precedes the module-scoped
+    result fixtures.
+    """
+    with pytest.MonkeyPatch.context() as mp:
+        mp.delenv("REPRO_SANITIZE", raising=False)
+        yield
+
+
 @pytest.fixture(scope="module")
 def mcf_program():
     # Programs are stateless/seed-independent; build once, reuse across
@@ -106,15 +122,25 @@ class TestEngineSelection:
                            SimParams(scale=SCALE), engine="fast",
                            **{observer: object()})
 
-    def test_sanitize_env_falls_back_to_oracle(self, mcf_program, monkeypatch):
+    def test_sanitize_env_raises_like_kwarg_observers(self, mcf_program,
+                                                      monkeypatch):
+        # One policy for every event-level observer: the env-derived
+        # sanitizer raises the same ConfigError as explicit kwargs
+        # (historically it warned and silently fell back to oracle).
         monkeypatch.setenv("REPRO_SANITIZE", "1")
         cfg = named_config("wth-wp")
         params = SimParams(scale=SCALE)
-        with pytest.warns(RuntimeWarning, match="REPRO_SANITIZE"):
-            result = run_simulation(mcf_program, cfg, params, engine="fast")
+        with pytest.raises(ConfigError, match="REPRO_SANITIZE"):
+            run_simulation(mcf_program, cfg, params, engine="fast")
         monkeypatch.delenv("REPRO_SANITIZE")
-        oracle = run_simulation(mcf_program, cfg, params, engine="oracle")
-        assert result.to_dict() == oracle.to_dict()
+        # With the observer gone the fast engine runs again.
+        run_simulation(mcf_program, cfg, params, engine="fast")
+
+    def test_policy_message_names_escape_hatch(self, mcf_program):
+        with pytest.raises(ConfigError, match="--engine oracle"):
+            run_simulation(mcf_program, named_config("orig"),
+                           SimParams(scale=SCALE), engine="fast",
+                           tracer=object())
 
     def test_profiler_supported_on_fast(self, mcf_program):
         profiler = HostProfiler()

@@ -1,0 +1,450 @@
+"""Tests for the sweep service (:mod:`repro.serve`).
+
+Four layers, cheapest first:
+
+* **Wire** — spec/cell-request round-trips, and rejection of every
+  malformed-payload class with a ``WireError`` naming the field.
+* **Queue** — dedup accounting (cache / in-flight / run), event
+  sequencing, and the deterministic retry path (a requeued task
+  completing on a "surviving worker").
+* **Worker** — :func:`repro.sim.executor.run_cell_request` resolving
+  cells (run, cache, error) and stamping job/tenant provenance into the
+  perf ledger.
+* **Service** — a real server on a background thread with real worker
+  subprocesses: submit → stream → results bit-identical to a local
+  ``run_grid``; resubmit served from cache; malformed submits answered
+  with structured 4xx while the server keeps serving; a worker SIGKILLed
+  mid-job replaced and the job still completing; a client resuming its
+  event stream from ``?since=<seq>`` after a dropped connection.
+
+The integration tests spawn subprocesses and bind sockets — they are
+the slowest in the suite but still sized for tier-1 (tiny scale, few
+cells).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.common.config import SimParams
+from repro.common.errors import ServeError, WireError
+from repro.serve.client import ServeClient
+from repro.serve.queue import JobQueue
+from repro.serve.server import ServerThread
+from repro.serve.wire import (
+    SERVE_SCHEMA_VERSION,
+    SweepSpec,
+    decode_cell_request,
+    decode_config,
+    encode_cell_request,
+    encode_dataclass,
+)
+from repro.serve.worker import handle_line
+from repro.sim.executor import DiskCache, run_cell_request
+from repro.sim.sweep import run_grid
+from repro.sta.configs import named_config
+
+TINY = SimParams(seed=7, scale=2e-5, warmup_invocations=0)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_serve_env(monkeypatch):
+    """Strip ambient repro env knobs (workers inherit ``os.environ``).
+
+    ``REPRO_SANITIZE=1`` (the CI sanitize leg) would make every
+    fast-engine cell raise the observer-policy ConfigError by design —
+    these tests pin their engines explicitly, so the process-wide knob
+    must not leak in.  The perf/cache knobs are stripped so tests only
+    ever touch their own tmp dirs.
+    """
+    for var in ("REPRO_SANITIZE", "REPRO_PERF_DIR", "REPRO_CACHE_DIR",
+                "REPRO_CACHE_MAX_MB", "REPRO_ENGINE"):
+        monkeypatch.delenv(var, raising=False)
+
+
+def make_spec(benchmarks=("175.vpr",), labels=("orig", "vc"),
+              engine="fast", tenant="default", params=TINY):
+    return SweepSpec(
+        benchmarks=tuple(benchmarks),
+        configs=tuple((name, named_config(name)) for name in labels),
+        params=params,
+        engine=engine,
+        tenant=tenant,
+    )
+
+
+class TestWire:
+    def test_spec_roundtrip_is_identity(self):
+        spec = make_spec(benchmarks=("175.vpr", "164.gzip"),
+                         labels=("orig", "wth-wp-wec"), tenant="ci")
+        wire = json.loads(json.dumps(spec.to_wire()))
+        assert SweepSpec.from_wire(wire) == spec
+
+    def test_decoded_spec_fingerprints_identically(self):
+        # The dedup guarantee: a spec that crosses the wire must produce
+        # the same cache keys as the client's original objects.
+        spec = make_spec()
+        decoded = SweepSpec.from_wire(json.loads(json.dumps(spec.to_wire())))
+        assert ([c.key() for c in decoded.cells()]
+                == [c.key() for c in spec.cells()])
+
+    def test_cells_in_local_grid_order(self):
+        spec = make_spec(benchmarks=("175.vpr", "164.gzip"),
+                         labels=("orig", "vc"))
+        assert [(c.benchmark, c.label) for c in spec.cells()] == [
+            ("175.vpr", "orig"), ("175.vpr", "vc"),
+            ("164.gzip", "orig"), ("164.gzip", "vc"),
+        ]
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda w: w.pop("benchmarks"), "missing required field"),
+        (lambda w: w.update(schema=99), "unsupported version"),
+        (lambda w: w.update(benchmarks=[]), "empty benchmark"),
+        (lambda w: w.update(benchmarks=["nosuch.bench"]), "unknown benchmark"),
+        (lambda w: w.update(configs=[]), "empty configuration"),
+        (lambda w: w.update(engine="turbo"), "unknown engine"),
+        (lambda w: w.update(tenant=""), "non-empty"),
+    ])
+    def test_malformed_spec_raises_wire_error(self, mutate, message):
+        wire = make_spec().to_wire()
+        mutate(wire)
+        with pytest.raises(WireError, match=message):
+            SweepSpec.from_wire(wire)
+
+    def test_duplicate_labels_rejected(self):
+        wire = make_spec().to_wire()
+        wire["configs"].append(dict(wire["configs"][0]))
+        with pytest.raises(WireError, match="duplicate label"):
+            SweepSpec.from_wire(wire)
+
+    def test_unknown_class_rejected(self):
+        # The decoder is a closed world, never a generic unpickler.
+        wire = make_spec().to_wire()
+        wire["params"]["__class__"] = "os.system"
+        with pytest.raises(WireError, match="unknown dataclass"):
+            SweepSpec.from_wire(wire)
+
+    def test_unknown_field_rejected(self):
+        wire = make_spec().to_wire()
+        wire["params"]["not_a_knob"] = 1
+        with pytest.raises(WireError, match="not_a_knob"):
+            SweepSpec.from_wire(wire)
+
+    def test_bad_enum_value_names_dotted_path(self):
+        cfg = encode_dataclass(named_config("vc"))
+        cfg["tu"]["sidecar"]["kind"] = "warp-drive"
+        with pytest.raises(WireError, match="config.tu.sidecar.kind"):
+            decode_config(cfg)
+
+    def test_cell_request_roundtrip(self):
+        spec = make_spec()
+        cell = spec.cells()[0]
+        wire = json.loads(json.dumps(encode_cell_request(
+            request_id="r1", cell=cell, engine="fast",
+            job_id="j0001", tenant="ci",
+        )))
+        req = decode_cell_request(wire)
+        assert req.cell == cell
+        assert req.key == cell.key()
+        assert (req.engine, req.job_id, req.tenant) == ("fast", "j0001", "ci")
+
+
+class TestQueue:
+    def run_async(self, coro):
+        return asyncio.run(coro)
+
+    def test_cache_then_inflight_then_run(self, tmp_path):
+        async def scenario():
+            cache = DiskCache(tmp_path)
+            queue = JobQueue(cache)
+            spec = make_spec(labels=("orig", "vc"))
+
+            job1 = await queue.submit(spec, "fast")
+            assert job1.stats()["cache_hits"] == 0
+            assert queue.tasks.qsize() == 2
+
+            # Same grid again while job1 is in flight: no new tasks,
+            # every cell subscribes to job1's computations.
+            job2 = await queue.submit(spec, "fast")
+            assert queue.tasks.qsize() == 2
+
+            while not queue.tasks.empty():
+                task = queue.tasks.get_nowait()
+                result = {"benchmark": task.cell.benchmark, "cycles": 1}
+                await queue.task_done(task, source="run", result=result,
+                                      wall_s=0.5)
+            assert job1.state == "done"
+            assert job2.state == "done"
+            assert job1.stats()["executed"] == 2
+            assert job2.stats()["deduped"] == 2
+            assert job2.results[0] == {"benchmark": "175.vpr", "cycles": 1}
+
+        self.run_async(scenario())
+
+    def test_retry_completes_job_deterministically(self, tmp_path):
+        # The queue half of the worker-death story, with no racing
+        # processes: a task requeued after a "death" still resolves its
+        # job, and the retry is visible in events and attempt counts.
+        async def scenario():
+            queue = JobQueue(DiskCache(tmp_path))
+            job = await queue.submit(make_spec(labels=("orig",)), "fast")
+            task = queue.tasks.get_nowait()
+            await queue.requeue(task)  # worker died mid-cell
+            assert task.attempts == 1
+            task = queue.tasks.get_nowait()  # picked up by a survivor
+            await queue.task_done(task, source="run", result={"ok": 1},
+                                  wall_s=0.1)
+            assert job.state == "done"
+            assert job.entries[0].attempts == 1
+            kinds = [e["kind"] for e in job.events]
+            assert kinds == ["cell-retried", "cell-done", "job-done"]
+
+        self.run_async(scenario())
+
+    def test_failed_task_fails_job_and_followers(self, tmp_path):
+        async def scenario():
+            queue = JobQueue(DiskCache(tmp_path))
+            spec = make_spec(labels=("orig",))
+            job1 = await queue.submit(spec, "fast")
+            job2 = await queue.submit(spec, "fast")
+            task = queue.tasks.get_nowait()
+            await queue.task_failed(task, "boom")
+            assert job1.state == "failed"
+            assert job2.state == "failed"
+            assert job2.entries[0].error == "boom"
+
+        self.run_async(scenario())
+
+    def test_events_are_sequence_numbered(self, tmp_path):
+        async def scenario():
+            queue = JobQueue(DiskCache(tmp_path))
+            job = await queue.submit(make_spec(labels=("orig", "vc")), "fast")
+            while not queue.tasks.empty():
+                task = queue.tasks.get_nowait()
+                await queue.task_done(task, "run", {"ok": 1}, 0.1)
+            assert [e["seq"] for e in job.events] == [1, 2, 3]
+
+        self.run_async(scenario())
+
+    def test_unknown_job_raises(self, tmp_path):
+        queue = JobQueue(DiskCache(tmp_path))
+        with pytest.raises(ServeError, match="no such job"):
+            queue.job("j9999")
+
+
+class TestWorkerSide:
+    def make_request(self, tmp_path, label="orig", **overrides):
+        spec = make_spec(labels=(label,))
+        wire = encode_cell_request(
+            request_id="r1", cell=spec.cells()[0], engine="fast",
+            job_id="j0001", tenant="ci", cache_dir=str(tmp_path),
+        )
+        wire.update(overrides)
+        return wire
+
+    def test_run_then_cache(self, tmp_path):
+        request = self.make_request(tmp_path)
+        first = run_cell_request(request)
+        assert (first["status"], first["source"]) == ("ok", "run")
+        again = run_cell_request(request)
+        assert (again["status"], again["source"]) == ("ok", "cache")
+        assert again["result"] == first["result"]
+
+    def test_matches_local_run_grid(self, tmp_path):
+        spec = make_spec(labels=("orig",))
+        response = run_cell_request(self.make_request(tmp_path))
+        local = run_grid({"orig": named_config("orig")},
+                         benchmarks=["175.vpr"], params=TINY,
+                         cache=False, engine="fast")
+        assert response["result"] == local[("175.vpr", "orig")].to_dict()
+
+    def test_undecodable_request_is_structured_error(self, tmp_path):
+        response = run_cell_request({"kind": "cell-request", "schema": -1,
+                                     "id": "r9"})
+        assert response["status"] == "err"
+        assert response["id"] == "r9"
+        assert "unsupported version" in response["error"]
+
+    def test_ledger_provenance_carries_job_and_tenant(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_DIR", str(tmp_path / "perf"))
+        response = run_cell_request(
+            self.make_request(tmp_path / "cache", job_id="j0042",
+                              tenant="team-a"))
+        assert response["status"] == "ok"
+        lines = (tmp_path / "perf" / "ledger.jsonl").read_text().splitlines()
+        record = json.loads(lines[-1])
+        assert record["provenance"]["job_id"] == "j0042"
+        assert record["provenance"]["tenant"] == "team-a"
+        assert record["context"] == "serve.worker"
+
+    def test_handle_line_ping_and_garbage(self):
+        assert handle_line('{"kind": "ping"}')["kind"] == "pong"
+        bad = handle_line("{not json")
+        assert bad["status"] == "err"
+        assert "not valid JSON" in bad["error"]
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with ServerThread(workers=2, cache_dir=str(tmp_path / "cache"),
+                      engine="fast") as srv:
+        yield srv
+
+
+class TestService:
+    def test_submit_stream_results_and_resubmit(self, server, tmp_path):
+        client = ServeClient(port=server.port)
+        spec = make_spec(benchmarks=("175.vpr", "164.gzip"),
+                         labels=("orig", "vc"))
+        summary = client.submit(spec)
+        events = []
+        status = client.wait(summary["job_id"], on_event=events.append)
+        assert status["state"] == "done"
+        assert status["executed"] == 4
+        # Events: one per cell plus job-done, strictly sequenced.
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        assert events[-1]["kind"] == "job-done"
+
+        # Bit-identity with an uncached local run of the same grid.
+        grid = client.result_grid(summary["job_id"])
+        local = run_grid(dict(spec.configs), list(spec.benchmarks),
+                        spec.params, cache=False, engine="fast")
+        assert set(grid) == set(local)
+        assert all(grid[k].to_dict() == local[k].to_dict() for k in local)
+
+        # Identical resubmit: every cell from the content-addressed cache.
+        again = client.submit(spec)
+        final = client.wait(again["job_id"])
+        assert final["cache_hits"] == final["n_cells"] == 4
+        assert final["executed"] == 0
+        assert client.result_grid(again["job_id"]).keys() == grid.keys()
+
+    def test_malformed_submits_get_4xx_server_survives(self, server):
+        client = ServeClient(port=server.port)
+        wire = make_spec().to_wire()
+        wire["benchmarks"] = ["nosuch.bench"]
+        with pytest.raises(ServeError, match="bad-spec"):
+            client._request("POST", "/v1/jobs", body=wire)
+        # A body that is not JSON at all: structured 400, kind bad-json.
+        import http.client as hc
+        conn = hc.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        conn.request("POST", "/v1/jobs", body="{definitely not json")
+        resp = conn.getresponse()
+        doc = json.loads(resp.read())
+        conn.close()
+        assert resp.status == 400
+        assert doc["error"]["kind"] == "bad-json"
+        with pytest.raises(ServeError, match="not-found"):
+            client._request("GET", "/v1/nowhere")
+        # After all that abuse the server still answers and still works.
+        assert client.health()["ok"] is True
+        job = client.submit(make_spec(labels=("orig",)))
+        assert client.wait(job["job_id"])["state"] == "done"
+
+    def test_results_before_done_is_409(self, server):
+        client = ServeClient(port=server.port)
+        job = client.submit(make_spec(labels=("orig", "vc", "nlp")))
+        try:
+            client.results(job["job_id"])
+        except ServeError as exc:
+            assert "not-finished" in str(exc) or "409" in str(exc)
+        # Either it already finished (fast machine) or we saw the 409;
+        # in both cases waiting must still converge.
+        assert client.wait(job["job_id"])["state"] == "done"
+
+    def test_worker_killed_mid_job_still_completes(self, tmp_path):
+        # A bigger grid through ONE worker: SIGKILL it mid-job and the
+        # server must respawn a replacement and finish every cell.
+        with ServerThread(workers=1, cache_dir=str(tmp_path / "cache"),
+                          engine="fast") as srv:
+            client = ServeClient(port=srv.port)
+            spec = make_spec(
+                benchmarks=("175.vpr", "164.gzip", "181.mcf"),
+                labels=("orig", "vc"),
+                params=SimParams(seed=7, scale=1e-4),
+            )
+            job = client.submit(spec)
+            victim = client.health()["workers"][0]["pid"]
+            # Let it get its teeth into a cell, then kill it.
+            time.sleep(0.8)
+            if client.job(job["job_id"])["state"] == "running":
+                os.kill(victim, signal.SIGKILL)
+            status = client.wait(job["job_id"])
+            assert status["state"] == "done"
+            assert status["resolved"] == status["n_cells"] == 6
+            grid = client.result_grid(job["job_id"])
+            assert len(grid) == 6
+            # The replacement worker is alive and is a different process.
+            workers = client.health()["workers"]
+            assert any(w["alive"] for w in workers)
+
+    def test_event_stream_resumes_from_since(self, server):
+        client = ServeClient(port=server.port)
+        job = client.submit(make_spec(labels=("orig", "vc")))
+        client.wait(job["job_id"])
+        # First connection: read only the first event, then drop it.
+        stream = client.events(job["job_id"], since=0)
+        first = next(stream)
+        stream.close()  # simulated mid-stream disconnect
+        assert first["seq"] == 1
+        # Reconnect with since=<last seen>: exactly the suffix replays.
+        rest = list(client.events(job["job_id"], since=first["seq"]))
+        assert [e["seq"] for e in rest] == list(
+            range(2, 2 + len(rest)))
+        assert rest[-1]["kind"] == "job-done"
+        # No duplication: union is exactly the full log.
+        full = list(client.events(job["job_id"], since=0))
+        assert [first] + rest == full
+
+    def test_wait_reconnects_after_transport_error(self, server):
+        client = ServeClient(port=server.port)
+        job = client.submit(make_spec(labels=("orig", "vc")))
+        real_events = client.events
+        calls = {"n": 0}
+
+        def flaky_events(job_id, since=0):
+            calls["n"] += 1
+            stream = real_events(job_id, since=since)
+            if calls["n"] == 1:
+                yield next(stream)
+                stream.close()
+                raise ConnectionResetError("simulated drop")
+            yield from stream
+
+        client.events = flaky_events
+        seen = []
+        status = client.wait(job["job_id"], on_event=seen.append,
+                             reconnect_delay_s=0.01)
+        assert status["state"] == "done"
+        assert calls["n"] >= 2  # it did reconnect
+        # Exactly-once delivery across the reconnect.
+        seqs = [e["seq"] for e in seen]
+        assert seqs == sorted(set(seqs)) == list(range(1, len(seqs) + 1))
+
+    def test_wait_gives_up_when_server_unreachable(self):
+        client = ServeClient(port=1, timeout=0.2)  # nothing listens here
+        with pytest.raises(ServeError, match="reconnects"):
+            client.wait("j0001", max_reconnects=2, reconnect_delay_s=0.01)
+
+    def test_service_ledger_provenance(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_DIR", str(tmp_path / "perf"))
+        with ServerThread(workers=2, cache_dir=str(tmp_path / "cache"),
+                          engine="fast") as srv:
+            client = ServeClient(port=srv.port)
+            job = client.submit(make_spec(labels=("orig", "vc"),
+                                          tenant="team-b"))
+            status = client.wait(job["job_id"])
+            assert status["executed"] == 2
+        lines = (tmp_path / "perf" / "ledger.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 2
+        for record in records:
+            assert record["provenance"]["job_id"] == job["job_id"]
+            assert record["provenance"]["tenant"] == "team-b"

@@ -1,0 +1,163 @@
+"""End-to-end smoke of the sweep service (``make serve-smoke``).
+
+Boots a real ``repro serve`` subprocess (2 workers, fast engine, its own
+scratch cache and perf ledger), then drives the service the way CI
+drives the differential smoke:
+
+1. submit the full acceptance grid — the 8-config differential ladder ×
+   every Table 2 benchmark (48 cells) — and stream it to completion;
+2. assert the service's results are **bit-identical** to a local,
+   uncached ``run_grid`` of the same spec;
+3. resubmit the identical grid and assert at least 90% of cells resolve
+   from the content-addressed cache (in practice: all of them);
+4. assert the perf ledger carries ``job_id``/``tenant`` provenance for
+   every executed cell.
+
+Exits non-zero with a named failure on any violation.  Wire/endpoint
+reference: ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import DIFF_LADDER  # noqa: E402
+from repro.common.config import SimParams  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.wire import SweepSpec  # noqa: E402
+from repro.sim.sweep import run_grid  # noqa: E402
+from repro.sta.configs import named_config  # noqa: E402
+from repro.workloads.benchmarks import BENCHMARK_NAMES  # noqa: E402
+
+SCALE = 2e-5
+SEED = 2003
+TENANT = "serve-smoke"
+MIN_RESUBMIT_HIT_RATE = 0.90
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke: FAIL — {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def start_server(scratch: Path) -> "tuple[subprocess.Popen, int]":
+    env = dict(os.environ)
+    env.update(
+        PYTHONPATH=str(REPO / "src"),
+        REPRO_CACHE_DIR=str(scratch / "cache"),
+        REPRO_PERF_DIR=str(scratch / "perf"),
+    )
+    env.pop("REPRO_SANITIZE", None)  # no observer hooks on the fast engine
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--port", "0", "--workers", "2", "--engine", "fast",
+         "--cache-dir", str(scratch / "cache")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            fail(f"server exited during startup (rc={proc.poll()})")
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    fail("server did not report its port within 60s")
+    raise AssertionError  # unreachable
+
+
+def main() -> int:
+    scratch = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    spec = SweepSpec(
+        benchmarks=tuple(BENCHMARK_NAMES),
+        configs=tuple(
+            (name, named_config(name)) for name in DIFF_LADDER.split(",")
+        ),
+        params=SimParams(seed=SEED, scale=SCALE),
+        engine="fast",
+        tenant=TENANT,
+    )
+    n_cells = len(spec.benchmarks) * len(spec.configs)
+    print(f"serve-smoke: {n_cells}-cell grid "
+          f"({len(spec.configs)} configs x {len(spec.benchmarks)} "
+          f"benchmarks), scale {SCALE:g}, scratch {scratch}")
+
+    proc, port = start_server(scratch)
+    try:
+        client = ServeClient(port=port)
+
+        t0 = time.perf_counter()
+        first = client.submit(spec)
+        status = client.wait(first["job_id"])
+        wall = time.perf_counter() - t0
+        if status["state"] != "done":
+            fail(f"job {first['job_id']} ended {status['state']!r}")
+        if status["executed"] != n_cells or status["cache_hits"] != 0:
+            fail(f"cold run expected {n_cells} executed/0 cached, got "
+                 f"{status['executed']}/{status['cache_hits']}")
+        print(f"serve-smoke: cold job {first['job_id']} done in {wall:.1f}s "
+              f"({status['executed']} executed)")
+
+        remote = client.result_grid(first["job_id"])
+        local = run_grid(dict(spec.configs), list(spec.benchmarks),
+                         spec.params, cache=False, engine="fast")
+        if set(remote) != set(local):
+            fail("service grid keys differ from local run_grid")
+        diverged = [key for key in local
+                    if remote[key].to_dict() != local[key].to_dict()]
+        if diverged:
+            fail(f"{len(diverged)} cell(s) not bit-identical to local "
+                 f"run_grid, e.g. {diverged[0]}")
+        print(f"serve-smoke: all {n_cells} cells bit-identical to local "
+              f"run_grid")
+
+        second = client.submit(spec)
+        resubmit = client.wait(second["job_id"])
+        hit_rate = resubmit["cache_hits"] / resubmit["n_cells"]
+        if hit_rate < MIN_RESUBMIT_HIT_RATE:
+            fail(f"resubmit hit rate {hit_rate:.0%} < "
+                 f"{MIN_RESUBMIT_HIT_RATE:.0%} "
+                 f"({resubmit['cache_hits']}/{resubmit['n_cells']})")
+        print(f"serve-smoke: resubmit {second['job_id']} served "
+              f"{hit_rate:.0%} from cache")
+
+        ledger_path = scratch / "perf" / "ledger.jsonl"
+        records = [json.loads(line)
+                   for line in ledger_path.read_text().splitlines()]
+        if len(records) != n_cells:
+            fail(f"perf ledger has {len(records)} records, expected "
+                 f"{n_cells} (one per executed cell)")
+        bad = [r for r in records
+               if r.get("provenance", {}).get("job_id") != first["job_id"]
+               or r.get("provenance", {}).get("tenant") != TENANT]
+        if bad:
+            fail(f"{len(bad)} ledger record(s) missing job/tenant "
+                 f"provenance")
+        print(f"serve-smoke: ledger has {len(records)} records, every one "
+              f"stamped job_id={first['job_id']} tenant={TENANT}")
+
+        client.shutdown()
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        shutil.rmtree(scratch, ignore_errors=True)
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
