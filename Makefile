@@ -19,9 +19,12 @@
 #   make serve-smoke  sweep service end-to-end: boot `repro serve`
 #                     (2 workers), submit the 48-cell acceptance grid
 #                     twice, assert bit-identity with a local run_grid,
-#                     >=90% cache hits on resubmit, and job/tenant
-#                     provenance on every ledger record
-#                     (docs/SERVICE.md)
+#                     >=90% cache hits on resubmit, job/tenant
+#                     provenance on every ledger record, and a
+#                     /v1/metrics scrape whose per-layer dedup counts
+#                     sum to both jobs' cells with nonzero latency
+#                     buckets; leaves serve-metrics.json behind (CI
+#                     uploads it as an artifact, docs/SERVICE.md)
 #   make perf-gate    bench-smoke + regression check vs the committed
 #                     baseline (benchmarks/BENCH_baseline.json)
 #   make explain-smoke  attribution layer end-to-end at tiny scale:

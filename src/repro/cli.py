@@ -104,7 +104,7 @@ from .obs.attrib import (
 )
 from .obs.compare import compare_records, parse_threshold
 from .obs.events import CATEGORIES
-from .obs.export import write_chrome_trace, write_jsonl
+from .obs.export import write_chrome_trace, write_jsonl, write_service_trace
 from .obs.hostprof import HostProfiler, peak_rss_kb
 from .obs.ledger import (
     Ledger,
@@ -112,6 +112,19 @@ from .obs.ledger import (
     default_perf_dir,
     load_records,
     write_export,
+)
+from .obs.telemetry import (
+    M_CACHE_EVICTIONS,
+    M_CACHE_PRUNE_PASSES,
+    M_CELL_LATENCY,
+    M_CELL_RETRIES,
+    M_CELLS_TOTAL,
+    M_JOBS_TOTAL,
+    M_QUEUE_DEPTH,
+    M_WORKER_RESPAWNS,
+    snapshot_hist,
+    snapshot_total,
+    snapshot_value,
 )
 from .obs.tracer import IntervalMetrics, RingBufferTracer
 from .sim.driver import ENGINES, run_program, run_simulation
@@ -318,7 +331,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--cache-dir", default=None, metavar="PATH",
                          help="result-cache root for server and workers "
                               "(default $REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve_p.add_argument("--log", default=None, metavar="PATH",
+                         help="structured JSONL event log, shared by the "
+                              "server and its workers (default: off)")
     add_engine(serve_p)
+    serve_sub = serve_p.add_subparsers(dest="serve_command", required=False)
+    top_p = serve_sub.add_parser(
+        "top",
+        help="live fleet view of a running server (workers, queue, "
+             "dedup layers, latency) from GET /v1/metrics",
+    )
+    top_p.add_argument("--host", default="127.0.0.1",
+                       help="server address (default 127.0.0.1)")
+    top_p.add_argument("--port", type=int, default=8753,
+                       help="server port (default 8753)")
+    top_p.add_argument("--timeout", type=float, default=10.0,
+                       help="per-poll timeout in seconds (default 10)")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds (default 2)")
+    top_p.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (no screen "
+                            "clearing; scripts and tests)")
 
     def add_client(sp):
         sp.add_argument("--host", default="127.0.0.1",
@@ -362,6 +395,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     jobs_p.add_argument("job_id", nargs="?", default=None,
                         help="job id (omit to list all jobs)")
+    jobs_p.add_argument("--watch", action="store_true",
+                        help="refresh the listing until interrupted")
+    jobs_p.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period for --watch in seconds "
+                             "(default 2)")
+    jobs_p.add_argument("--timeline", default=None, metavar="PATH",
+                        help="also fetch /v1/timeline and write the "
+                             "job→cell→worker spans as a Perfetto trace "
+                             "to PATH")
     add_client(jobs_p)
 
     cache_p = sub.add_parser(
@@ -753,6 +795,7 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         engine=args.engine,
         cache_dir=args.cache_dir,
+        log_path=args.log,
     )
 
     async def _run() -> None:
@@ -771,6 +814,79 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("repro serve: interrupted, shutting down", file=sys.stderr)
     return 0
+
+
+def _fleet_frame(health, snap, jobs) -> str:
+    """One `repro serve top` frame from health + metrics + job list."""
+    lat_count, lat_sum = snapshot_hist(snap, M_CELL_LATENCY)
+    mean_ms = (lat_sum / lat_count * 1e3) if lat_count else 0.0
+    workers = health.get("workers", [])
+    alive = sum(1 for w in workers if w.get("alive"))
+    busy = sum(1 for w in workers if w.get("busy"))
+    lines = [
+        f"repro serve top — engine {health.get('engine')}, "
+        f"{len(health.get('workers', []))} worker slot(s)",
+        "",
+        f"workers : {alive} alive, {busy} busy, "
+        f"{snapshot_value(snap, M_WORKER_RESPAWNS):.0f} respawn(s)",
+        f"queue   : {snapshot_value(snap, M_QUEUE_DEPTH):.0f} pending, "
+        f"{snapshot_value(snap, M_CELL_RETRIES):.0f} retrie(s)",
+        f"jobs    : "
+        f"{snapshot_value(snap, M_JOBS_TOTAL, {'state': 'submitted'}):.0f} "
+        f"submitted, "
+        f"{snapshot_value(snap, M_JOBS_TOTAL, {'state': 'done'}):.0f} done, "
+        f"{snapshot_value(snap, M_JOBS_TOTAL, {'state': 'failed'}):.0f} "
+        f"failed",
+        f"cells   : "
+        f"{snapshot_value(snap, M_CELLS_TOTAL, {'source': 'cache'}):.0f} "
+        f"cache / "
+        f"{snapshot_value(snap, M_CELLS_TOTAL, {'source': 'dedup'}):.0f} "
+        f"dedup / "
+        f"{snapshot_value(snap, M_CELLS_TOTAL, {'source': 'run'}):.0f} "
+        f"run / "
+        f"{snapshot_value(snap, M_CELLS_TOTAL, {'source': 'failed'}):.0f} "
+        f"failed",
+        f"latency : {lat_count} executed cell(s), "
+        f"mean {mean_ms:.1f} ms",
+        f"cache   : "
+        f"{snapshot_value(snap, M_CACHE_PRUNE_PASSES):.0f} prune pass(es), "
+        f"{snapshot_value(snap, M_CACHE_EVICTIONS):.0f} eviction(s)",
+    ]
+    active = [j for j in jobs if j["state"] in ("queued", "running")]
+    shown = active if active else jobs[-5:]
+    if shown:
+        lines.append("")
+        t = TextTable(
+            "active jobs" if active else "recent jobs",
+            ["job", "tenant", "state", "cells", "resolved", "retries",
+             "respawns"],
+        )
+        for j in shown:
+            t.add_row([
+                j["job_id"], j["tenant"], j["state"], j["n_cells"],
+                j.get("resolved", 0), j.get("retries", 0),
+                j.get("respawns", 0),
+            ])
+        lines.append(str(t))
+    return "\n".join(lines)
+
+
+def _cmd_serve_top(args) -> int:
+    from .serve.client import ServeClient
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.once:
+        print(_fleet_frame(client.health(), client.metrics(), client.jobs()))
+        return 0
+    try:
+        while True:
+            frame = _fleet_frame(client.health(), client.metrics(),
+                                 client.jobs())
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_submit(args) -> int:
@@ -832,22 +948,39 @@ def _cmd_jobs(args) -> int:
     from .serve.client import ServeClient
 
     client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.timeline:
+        doc = client.timeline()
+        path = write_service_trace(doc.get("spans", []), args.timeline,
+                                   label=f"{args.host}:{args.port}")
+        print(f"timeline: {path} ({len(doc.get('spans', []))} span(s), "
+              f"{doc.get('n_dropped', 0)} dropped)")
     if args.job_id is None:
-        jobs = client.jobs()
-        if not jobs:
-            print("no jobs")
-            return 0
-        t = TextTable(
-            f"jobs on {args.host}:{args.port}",
-            ["job", "tenant", "state", "cells", "cached", "run",
-             "dedup", "failed"],
-        )
-        for j in jobs:
-            t.add_row([
-                j["job_id"], j["tenant"], j["state"], j["n_cells"],
-                j["cache_hits"], j["executed"], j["deduped"], j["failed"],
-            ])
-        print(t)
+        def listing() -> str:
+            jobs = client.jobs()
+            if not jobs:
+                return "no jobs"
+            t = TextTable(
+                f"jobs on {args.host}:{args.port}",
+                ["job", "tenant", "state", "cells", "cached", "run",
+                 "dedup", "failed", "retries", "respawns"],
+            )
+            for j in jobs:
+                t.add_row([
+                    j["job_id"], j["tenant"], j["state"], j["n_cells"],
+                    j["cache_hits"], j["executed"], j["deduped"],
+                    j["failed"], j.get("retries", 0), j.get("respawns", 0),
+                ])
+            return str(t)
+
+        if args.watch:
+            try:
+                while True:
+                    sys.stdout.write("\x1b[2J\x1b[H" + listing() + "\n")
+                    sys.stdout.flush()
+                    time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+        print(listing())
         return 0
     doc = client.job(args.job_id)
     print(f"job {doc['job_id']}: {doc['state']} "
@@ -870,6 +1003,10 @@ def _cmd_cache_stats(args) -> int:
         print(f"quota   : {stats.quota_mb:g} MiB ($REPRO_CACHE_MAX_MB)")
     else:
         print("quota   : none ($REPRO_CACHE_MAX_MB unset)")
+    mib = 1024 * 1024
+    print(f"evicted : {stats.evicted_entries} entr(y/ies), "
+          f"{stats.evicted_bytes / mib:.1f} MiB over "
+          f"{stats.prune_passes} prune pass(es), lifetime")
     return 0
 
 
@@ -1096,6 +1233,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "lint":
             return _checked("lint", lambda: _cmd_lint(args))
         if args.command == "serve":
+            if getattr(args, "serve_command", None) == "top":
+                return _checked("serve top", lambda: _cmd_serve_top(args))
             return _checked("serve", lambda: _cmd_serve(args))
         if args.command == "submit":
             return _checked("submit", lambda: _cmd_submit(args))

@@ -165,6 +165,13 @@ RULES: Tuple[Rule, ...] = (
         "and the explain CLI only understand registered provenances.",
     ),
     Rule(
+        "OBS003",
+        "telemetry emits use registry name constants",
+        "inc/set_gauge/observe with a literal metric name bypasses the "
+        "declared schema in obs/telemetry.py; scrapers, dashboards and "
+        "the manifest embed only understand registered M_* names.",
+    ),
+    Rule(
         "EXC001",
         "no blanket exception handlers",
         "bare except / except Exception hides simulator bugs as silent "
@@ -184,6 +191,10 @@ _PROV_ARG_METHODS: Dict[str, int] = {
     "set_wrong_context": 0,
     "on_prefetch_fill": 3,
 }
+
+#: MetricsRegistry emit methods (OBS003): the metric name is the first
+#: positional argument (or the ``name`` keyword).
+_METRIC_EMIT_METHODS = frozenset({"inc", "set_gauge", "observe"})
 
 _WALLCLOCK = frozenset(
     {
@@ -421,6 +432,22 @@ class _Checker(ast.NodeVisitor):
                     f"{func.attr}(...) with a literal provenance bypasses "
                     "the shared enum; use a PROV_* constant from "
                     "repro.obs.attrib",
+                )
+
+        if isinstance(func, ast.Attribute) and func.attr in _METRIC_EMIT_METHODS:
+            name_arg: Optional[ast.expr] = node.args[0] if node.args else None
+            if name_arg is None:
+                for kw in node.keywords:
+                    if kw.arg == "name":
+                        name_arg = kw.value
+                        break
+            if isinstance(name_arg, ast.Constant):
+                self._report(
+                    "OBS003",
+                    node,
+                    f"{func.attr}(...) with a literal metric name bypasses "
+                    "the declared registry schema; use an M_* constant from "
+                    "repro.obs.telemetry",
                 )
 
         if (

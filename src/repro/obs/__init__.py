@@ -84,8 +84,27 @@ from .events import (
     KIND_NAMES,
     event_to_dict,
 )
-from .export import chrome_trace, write_chrome_trace, write_jsonl
+from .export import (
+    chrome_trace,
+    service_trace,
+    write_chrome_trace,
+    write_jsonl,
+    write_service_trace,
+)
 from .hostprof import HostProfiler, peak_rss_kb
+from .telemetry import (
+    METRIC_NAMES,
+    MetricsRegistry,
+    NullLog,
+    SpanLog,
+    StructuredLog,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryError,
+    snapshot_hist,
+    snapshot_total,
+    snapshot_value,
+    standard_registry,
+)
 from .ledger import (
     Ledger,
     PerfRecord,
@@ -122,8 +141,21 @@ __all__ = [
     "KIND_NAMES",
     "event_to_dict",
     "chrome_trace",
+    "service_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_service_trace",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "NullLog",
+    "SpanLog",
+    "StructuredLog",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryError",
+    "snapshot_hist",
+    "snapshot_total",
+    "snapshot_value",
+    "standard_registry",
     "IntervalMetrics",
     "NullTracer",
     "RingBufferTracer",

@@ -1,0 +1,633 @@
+"""Service & fleet telemetry: metrics registry + structured JSONL logs.
+
+Run-level observability (tracer, perf ledger, attribution) stops at the
+process boundary; this module is the *fleet*-level layer the sweep
+service and the local executor share.  Three pieces:
+
+* :class:`MetricsRegistry` — a stdlib-only registry of monotonic
+  counters, gauges and fixed-bucket histograms.  Metric names are
+  declared once (the ``M_*`` module constants below; lint rule OBS003
+  rejects literal names at emit sites), label sets are declared with the
+  metric and bounded (:data:`MAX_SERIES_PER_METRIC` series per metric —
+  overflow collapses into a reserved ``(other)`` series instead of
+  growing without bound).  Snapshots render as Prometheus text
+  exposition (``GET /v1/metrics``) or as a JSON document
+  (``?format=json``, and embedded in sweep manifests).
+
+* :class:`StructuredLog` — an append-only JSONL event log.  ``bind``
+  returns a child logger carrying correlation fields (``job_id``,
+  ``cell``, ``tenant``, ``worker``), so one ``grep`` of the log file
+  follows a job across the server, the queue and the worker processes.
+  :class:`NullLog` is the no-op default — telemetry is opt-in and
+  host-side only.
+
+* :class:`SpanLog` — a bounded record of job→cell→worker spans the
+  server keeps for ``GET /v1/timeline``;
+  :func:`repro.obs.export.service_trace` turns it into a Perfetto
+  document.
+
+Telemetry must never perturb simulation: nothing here is importable
+from a sim layer (the lint applicability map keeps ``repro.core`` /
+``repro.sta`` / ``repro.mem`` / ``repro.branch`` wall-clock-free), and
+``tests/test_telemetry.py`` enforces that telemetry-on runs are
+bit-identical to telemetry-off runs.  See docs/OBSERVABILITY.md
+("Service telemetry") and docs/SERVICE.md for the metric/label table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from ..common.errors import ReproError
+
+__all__ = [
+    "EV_CACHE_PRUNE",
+    "EV_CELL_FAILED",
+    "EV_CELL_RESOLVED",
+    "EV_CELL_RETRIED",
+    "EV_JOB_DONE",
+    "EV_JOB_SUBMITTED",
+    "EV_SWEEP_DONE",
+    "EV_WORKER_RESPAWNED",
+    "EV_WORKER_SPAWNED",
+    "LATENCY_BUCKETS_S",
+    "M_CACHE_EVICTED_BYTES",
+    "M_CACHE_EVICTIONS",
+    "M_CACHE_PRUNE_PASSES",
+    "M_CELL_LATENCY",
+    "M_CELL_RETRIES",
+    "M_CELLS_TOTAL",
+    "M_JOBS_TOTAL",
+    "M_QUEUE_DEPTH",
+    "M_WORKER_RESPAWNS",
+    "M_WORKERS_ALIVE",
+    "M_WORKERS_BUSY",
+    "MAX_SERIES_PER_METRIC",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "NullLog",
+    "OVERFLOW_LABEL",
+    "SpanLog",
+    "StructuredLog",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryError",
+    "snapshot_hist",
+    "snapshot_total",
+    "snapshot_value",
+    "standard_registry",
+]
+
+#: Version of the snapshot document (`/v1/metrics?format=json`, manifest
+#: embed).  Bumped on any incompatible shape change.
+TELEMETRY_SCHEMA_VERSION = 1
+
+# --- metric names (OBS003: emit sites must use these, never literals) ----
+
+#: Gauge — cells enqueued and waiting for a worker.
+M_QUEUE_DEPTH = "repro_queue_depth"
+#: Gauge — worker subprocesses currently alive (local runs: pool size).
+M_WORKERS_ALIVE = "repro_workers_alive"
+#: Gauge — workers currently executing a cell.
+M_WORKERS_BUSY = "repro_workers_busy"
+#: Counter, label ``source`` ∈ cache|dedup|run|failed — cells resolved,
+#: by dedup layer.  The per-layer counts of one job sum to its cell count.
+M_CELLS_TOTAL = "repro_cells_total"
+#: Histogram, labels ``benchmark``/``engine`` — executed-cell wall time.
+M_CELL_LATENCY = "repro_cell_latency_seconds"
+#: Counter, label ``state`` ∈ submitted|done|failed — job lifecycle.
+M_JOBS_TOTAL = "repro_jobs_total"
+#: Counter — worker subprocesses replaced after dying (idle or mid-cell).
+M_WORKER_RESPAWNS = "repro_worker_respawns_total"
+#: Counter — cells re-enqueued after a worker died mid-cell.
+M_CELL_RETRIES = "repro_cell_retries_total"
+#: Counter — DiskCache quota prune passes (local + worker, via sidecar).
+M_CACHE_PRUNE_PASSES = "repro_cache_prune_passes_total"
+#: Counter — cache entries evicted by quota pruning.
+M_CACHE_EVICTIONS = "repro_cache_evictions_total"
+#: Counter — bytes freed by quota pruning.
+M_CACHE_EVICTED_BYTES = "repro_cache_evicted_bytes_total"
+
+METRIC_NAMES: Tuple[str, ...] = (
+    M_QUEUE_DEPTH,
+    M_WORKERS_ALIVE,
+    M_WORKERS_BUSY,
+    M_CELLS_TOTAL,
+    M_CELL_LATENCY,
+    M_JOBS_TOTAL,
+    M_WORKER_RESPAWNS,
+    M_CELL_RETRIES,
+    M_CACHE_PRUNE_PASSES,
+    M_CACHE_EVICTIONS,
+    M_CACHE_EVICTED_BYTES,
+)
+
+#: Cell wall-time buckets: tiny smoke cells (sub-ms on the fast engine)
+#: through paper-scale oracle cells (minutes).
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 300.0,
+)
+
+#: Hard cap on label combinations per metric; overflow collapses into
+#: one reserved series so a hostile/buggy label can never grow memory
+#: without bound.
+MAX_SERIES_PER_METRIC = 64
+
+#: Label value of the collapsed overflow series.
+OVERFLOW_LABEL = "(other)"
+
+# --- structured-log event names ------------------------------------------
+
+EV_JOB_SUBMITTED = "job.submitted"
+EV_JOB_DONE = "job.done"
+EV_CELL_RESOLVED = "cell.resolved"
+EV_CELL_FAILED = "cell.failed"
+EV_CELL_RETRIED = "cell.retried"
+EV_WORKER_SPAWNED = "worker.spawned"
+EV_WORKER_RESPAWNED = "worker.respawned"
+EV_CACHE_PRUNE = "cache.prune"
+EV_SWEEP_DONE = "sweep.done"
+
+
+class TelemetryError(ReproError):
+    """A telemetry declaration or emit was malformed.
+
+    Raised for *programming* errors — emitting to an undeclared metric,
+    a kind mismatch (``inc`` on a gauge), labels that do not match the
+    declaration — never for runtime conditions: telemetry failing at
+    run time must not fail the run, so sinks are best-effort instead.
+    """
+
+
+class _Metric:
+    """One declared metric and all of its label series."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets", "series")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 label_names: Tuple[str, ...],
+                 buckets: Optional[Tuple[float, ...]]) -> None:
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.help = help_text
+        self.label_names = label_names
+        self.buckets = buckets
+        #: label-value tuple -> float, or [counts..., +Inf count] for
+        #: histograms (sum/count kept alongside).
+        self.series: Dict[Tuple[str, ...], object] = {}
+
+    def signature(self) -> Tuple:
+        return (self.kind, self.label_names, self.buckets)
+
+
+class _HistSeries:
+    """Per-series histogram state: non-cumulative bucket counts."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Declared-name metrics: counters, gauges, fixed-bucket histograms.
+
+    Declaration (``counter``/``gauge``/``histogram``) is idempotent for
+    an identical signature and a loud :class:`TelemetryError` for a
+    conflicting one.  Emits (``inc``/``set_gauge``/``observe``) must
+    name a declared metric — with the exact declared label names — and
+    must use a name constant at the call site (lint rule OBS003).
+
+    Thread-safe: the service emits from the event loop while HTTP
+    handlers snapshot, and local sweeps emit from the main thread while
+    tests poke at values.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- declaration -----------------------------------------------------
+
+    def _declare(self, name: str, kind: str, help_text: str,
+                 labels: Sequence[str],
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        label_names = tuple(str(n) for n in labels)
+        bucket_t = None
+        if kind == "histogram":
+            if not buckets:
+                raise TelemetryError(f"histogram {name!r} needs buckets")
+            bucket_t = tuple(float(b) for b in buckets)
+            if list(bucket_t) != sorted(set(bucket_t)):
+                raise TelemetryError(
+                    f"histogram {name!r} buckets must be strictly increasing"
+                )
+        metric = _Metric(name, kind, help_text, label_names, bucket_t)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.signature() != metric.signature():
+                    raise TelemetryError(
+                        f"metric {name!r} re-declared with a different "
+                        f"signature ({existing.signature()} vs "
+                        f"{metric.signature()})"
+                    )
+                return
+            self._metrics[name] = metric
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> None:
+        """Declare a monotonic counter."""
+        self._declare(name, "counter", help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()) -> None:
+        """Declare a gauge (set to arbitrary values)."""
+        self._declare(name, "gauge", help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = LATENCY_BUCKETS_S) -> None:
+        """Declare a fixed-bucket histogram (bounds in ascending order)."""
+        self._declare(name, "histogram", help_text, labels, buckets)
+
+    # -- emit ------------------------------------------------------------
+
+    def _series_key(self, metric: _Metric,
+                    labels: Dict[str, object]) -> Tuple[str, ...]:
+        if tuple(sorted(labels)) != tuple(sorted(metric.label_names)):
+            raise TelemetryError(
+                f"metric {metric.name!r} declared labels "
+                f"{metric.label_names}, emit supplied "
+                f"{tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in metric.label_names)
+        if key in metric.series:
+            return key
+        if len(metric.series) >= MAX_SERIES_PER_METRIC:
+            # Bounded cardinality: everything past the cap lands in one
+            # reserved series instead of growing the registry forever.
+            return tuple(OVERFLOW_LABEL for _ in metric.label_names)
+        return key
+
+    def _metric(self, name: str, kind: str) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            raise TelemetryError(
+                f"metric {name!r} was never declared (declare it in "
+                "standard_registry or on this registry first)"
+            )
+        if metric.kind != kind:
+            raise TelemetryError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def inc(self, name: str, n: Union[int, float] = 1, **labels) -> None:
+        """Add ``n`` (>= 0) to a counter series."""
+        if n < 0:
+            raise TelemetryError(
+                f"counter {name!r} is monotonic; inc({n}) is negative"
+            )
+        with self._lock:
+            metric = self._metric(name, "counter")
+            key = self._series_key(metric, labels)
+            metric.series[key] = float(metric.series.get(key, 0.0)) + n  # type: ignore[arg-type]
+
+    def set_gauge(self, name: str, value: Union[int, float],
+                  **labels) -> None:
+        """Set a gauge series to ``value``."""
+        with self._lock:
+            metric = self._metric(name, "gauge")
+            key = self._series_key(metric, labels)
+            metric.series[key] = float(value)
+
+    def observe(self, name: str, value: Union[int, float],
+                **labels) -> None:
+        """Record one observation into a histogram series."""
+        with self._lock:
+            metric = self._metric(name, "histogram")
+            key = self._series_key(metric, labels)
+            series = metric.series.get(key)
+            if series is None:
+                series = _HistSeries(len(metric.buckets or ()))
+                metric.series[key] = series
+            assert isinstance(series, _HistSeries)
+            value = float(value)
+            slot = len(metric.buckets or ())  # +Inf unless a bound fits
+            for i, bound in enumerate(metric.buckets or ()):
+                if value <= bound:
+                    slot = i
+                    break
+            series.counts[slot] += 1
+            series.sum += value
+            series.count += 1
+
+    # -- read ------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of one counter/gauge series (0.0 if never emitted)."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                raise TelemetryError(f"metric {name!r} was never declared")
+            if metric.kind == "histogram":
+                raise TelemetryError(
+                    f"metric {name!r} is a histogram; read it via snapshot()"
+                )
+            key = self._series_key(metric, labels)
+            return float(metric.series.get(key, 0.0))  # type: ignore[arg-type]
+
+    def snapshot(self) -> Dict:
+        """Deterministic JSON-serializable view of every series."""
+        metrics: Dict[str, Dict] = {}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                doc: Dict = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "labels": list(metric.label_names),
+                }
+                if metric.kind == "histogram":
+                    doc["buckets"] = list(metric.buckets or ())
+                series_docs: List[Dict] = []
+                for key in sorted(metric.series):
+                    labels = dict(zip(metric.label_names, key))
+                    value = metric.series[key]
+                    if isinstance(value, _HistSeries):
+                        series_docs.append({
+                            "labels": labels,
+                            "counts": list(value.counts),
+                            "sum": value.sum,
+                            "count": value.count,
+                        })
+                    else:
+                        series_docs.append({
+                            "labels": labels, "value": value,
+                        })
+                doc["series"] = series_docs
+                metrics[name] = doc
+        return {"schema": TELEMETRY_SCHEMA_VERSION, "metrics": metrics}
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        for name, doc in snap["metrics"].items():
+            lines.append(f"# HELP {name} {doc['help']}")
+            lines.append(f"# TYPE {name} {doc['kind']}")
+            if doc["kind"] == "histogram":
+                bounds = doc["buckets"]
+                for series in doc["series"]:
+                    labels = series["labels"]
+                    cumulative = 0
+                    for bound, count in zip(bounds, series["counts"]):
+                        cumulative += count
+                        le = _prom_labels({**labels, "le": _prom_num(bound)})
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    cumulative += series["counts"][-1]
+                    le = _prom_labels({**labels, "le": "+Inf"})
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                    lab = _prom_labels(labels)
+                    lines.append(f"{name}_sum{lab} {_prom_num(series['sum'])}")
+                    lines.append(f"{name}_count{lab} {series['count']}")
+            else:
+                for series in doc["series"]:
+                    lab = _prom_labels(series["labels"])
+                    lines.append(f"{name}{lab} {_prom_num(series['value'])}")
+        return "\n".join(lines) + "\n"
+
+
+def _prom_num(value: Union[int, float]) -> str:
+    """Render numbers the way Prometheus expects (no trailing .0 noise)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_prom_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def standard_registry() -> MetricsRegistry:
+    """The shared signal set: serve and local ``run_cells`` both emit it."""
+    reg = MetricsRegistry()
+    reg.gauge(M_QUEUE_DEPTH, "cells enqueued and waiting for a worker")
+    reg.gauge(M_WORKERS_ALIVE, "worker subprocesses currently alive")
+    reg.gauge(M_WORKERS_BUSY, "workers currently executing a cell")
+    reg.counter(M_CELLS_TOTAL,
+                "cells resolved, by dedup layer "
+                "(cache | dedup | run | failed)",
+                labels=("source",))
+    reg.histogram(M_CELL_LATENCY,
+                  "executed-cell wall time in seconds",
+                  labels=("benchmark", "engine"),
+                  buckets=LATENCY_BUCKETS_S)
+    reg.counter(M_JOBS_TOTAL, "job lifecycle (submitted | done | failed)",
+                labels=("state",))
+    reg.counter(M_WORKER_RESPAWNS,
+                "worker subprocesses replaced after dying")
+    reg.counter(M_CELL_RETRIES,
+                "cells re-enqueued after a worker died mid-cell")
+    reg.counter(M_CACHE_PRUNE_PASSES, "DiskCache quota prune passes")
+    reg.counter(M_CACHE_EVICTIONS,
+                "cache entries evicted by quota pruning")
+    reg.counter(M_CACHE_EVICTED_BYTES, "bytes freed by quota pruning")
+    return reg
+
+
+# --- snapshot readers (serve top, smoke assertions, tests) ----------------
+
+
+def snapshot_value(snapshot: Dict, name: str,
+                   labels: Optional[Dict[str, object]] = None) -> float:
+    """One counter/gauge series value out of a snapshot (0.0 if absent)."""
+    doc = snapshot.get("metrics", {}).get(name)
+    if doc is None:
+        return 0.0
+    want = {str(k): str(v) for k, v in (labels or {}).items()}
+    for series in doc.get("series", []):
+        if {k: str(v) for k, v in series["labels"].items()} == want:
+            return float(series.get("value", 0.0))
+    return 0.0
+
+
+def snapshot_total(snapshot: Dict, name: str) -> float:
+    """Sum across every series (histograms: total observation count)."""
+    doc = snapshot.get("metrics", {}).get(name)
+    if doc is None:
+        return 0.0
+    if doc.get("kind") == "histogram":
+        return float(sum(s.get("count", 0) for s in doc.get("series", [])))
+    return float(sum(s.get("value", 0.0) for s in doc.get("series", [])))
+
+
+def snapshot_hist(snapshot: Dict, name: str) -> Tuple[int, float]:
+    """A histogram's total ``(count, sum)`` across every series."""
+    doc = snapshot.get("metrics", {}).get(name)
+    if doc is None or doc.get("kind") != "histogram":
+        return (0, 0.0)
+    count = sum(s.get("count", 0) for s in doc.get("series", []))
+    total = sum(s.get("sum", 0.0) for s in doc.get("series", []))
+    return (int(count), float(total))
+
+
+# --- structured JSONL logging ---------------------------------------------
+
+
+class NullLog:
+    """No-op logger: the default everywhere telemetry is not requested."""
+
+    def bind(self, **_fields) -> "NullLog":
+        return self
+
+    def event(self, _name: str, **_fields) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+class _LogSink:
+    """Shared write end of a StructuredLog family (one lock, one stream)."""
+
+    def __init__(self, fh: IO[str], owns: bool) -> None:
+        self.fh = fh
+        self.owns = owns
+        self.lock = threading.Lock()
+
+    def write_line(self, line: str) -> None:
+        # Best-effort: a full disk or closed stream must never fail the
+        # run the log was describing.
+        try:
+            with self.lock:
+                self.fh.write(line + "\n")
+                self.fh.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self.owns:
+            try:
+                self.fh.close()
+            except OSError:
+                pass
+
+
+class StructuredLog:
+    """Append-only JSONL event log with bound correlation fields.
+
+    One JSON object per line: ``{"ts": ..., "event": <name>, ...bound
+    fields..., ...call fields...}``.  ``bind(job_id=..., worker=...)``
+    returns a child logger sharing the sink; every event it writes
+    carries the bound fields, which is what makes the log greppable by
+    job, cell, tenant or worker.
+
+    Opened with ``path`` the file is appended to (parents created), so
+    the server and its worker subprocesses can share one log file —
+    each line is a single ``write`` of an ``O_APPEND`` stream.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None,
+                 stream: Optional[IO[str]] = None,
+                 fields: Optional[Dict] = None,
+                 _sink: Optional[_LogSink] = None) -> None:
+        if _sink is not None:
+            self._sink = _sink
+        elif path is not None:
+            p = Path(path)
+            if p.parent != Path(""):
+                p.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = _LogSink(open(p, "a", encoding="utf-8"), owns=True)
+        else:
+            self._sink = _LogSink(stream if stream is not None else sys.stderr,
+                                  owns=False)
+        self._fields: Dict = dict(fields or {})
+
+    def bind(self, **fields) -> "StructuredLog":
+        """A child logger whose every event carries ``fields``."""
+        merged = dict(self._fields)
+        merged.update(fields)
+        return StructuredLog(fields=merged, _sink=self._sink)
+
+    def event(self, name: str, **fields) -> None:
+        """Write one event line (bound fields first, call fields win)."""
+        record: Dict = {"ts": round(time.time(), 6), "event": name}
+        record.update(self._fields)
+        record.update(fields)
+        self._sink.write_line(json.dumps(record, sort_keys=True, default=str))
+
+    def close(self) -> None:
+        self._sink.close()
+
+
+# --- job -> cell -> worker spans ------------------------------------------
+
+
+class SpanLog:
+    """Bounded in-memory record of executed-cell spans (``/v1/timeline``).
+
+    Each span is one worker executing one cell of one job; the Perfetto
+    exporter (:func:`repro.obs.export.service_trace`) renders them as one
+    track per worker.  Capacity-bounded with drop-oldest semantics so a
+    long-lived server cannot grow without bound; ``n_dropped`` reports
+    how many spans aged out.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise TelemetryError("SpanLog capacity must be >= 1")
+        self.capacity = capacity
+        self._spans: List[Dict] = []
+        self.n_dropped = 0
+        self._lock = threading.Lock()
+
+    def add(self, *, job_id: str, index: int, benchmark: str, label: str,
+            worker: str, source: str, start_s: float, end_s: float,
+            attempts: int = 0) -> None:
+        span = {
+            "job_id": job_id,
+            "index": index,
+            "benchmark": benchmark,
+            "label": label,
+            "worker": worker,
+            "source": source,
+            "start_s": float(start_s),
+            "end_s": float(end_s),
+            "attempts": attempts,
+        }
+        with self._lock:
+            if len(self._spans) >= self.capacity:
+                self._spans.pop(0)
+                self.n_dropped += 1
+            self._spans.append(span)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def to_wire(self) -> Dict:
+        with self._lock:
+            return {
+                "spans": [dict(s) for s in self._spans],
+                "n_dropped": self.n_dropped,
+            }

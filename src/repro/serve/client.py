@@ -85,10 +85,38 @@ class ServeClient:
         finally:
             conn.close()
 
+    def _request_text(self, method: str, path: str) -> str:
+        """One round-trip for a plain-text endpoint (Prometheus scrape)."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServeError(
+                    f"{method} {path}: HTTP {response.status}: {raw[:200]!r}"
+                )
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
     # -- endpoints -------------------------------------------------------
 
     def health(self) -> Dict:
         return self._request("GET", "/v1/health")
+
+    def metrics(self) -> Dict:
+        """The fleet metrics snapshot (``GET /v1/metrics?format=json``)."""
+        return self._request("GET", "/v1/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /v1/metrics``)."""
+        return self._request_text("GET", "/v1/metrics")
+
+    def timeline(self) -> Dict:
+        """Job→cell→worker spans (``GET /v1/timeline``)."""
+        return self._request("GET", "/v1/timeline")
 
     def submit(self, spec: SweepSpec) -> Dict:
         """Submit a sweep; returns the job summary (``job_id`` et al)."""

@@ -32,6 +32,22 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..common.errors import ServeError
+from ..obs.telemetry import (
+    EV_CELL_FAILED,
+    EV_CELL_RESOLVED,
+    EV_CELL_RETRIED,
+    EV_JOB_DONE,
+    EV_JOB_SUBMITTED,
+    M_CELL_LATENCY,
+    M_CELL_RETRIES,
+    M_CELLS_TOTAL,
+    M_JOBS_TOTAL,
+    M_QUEUE_DEPTH,
+    MetricsRegistry,
+    NullLog,
+    StructuredLog,
+    standard_registry,
+)
 from ..sim.executor import DiskCache, SweepCell
 from .wire import SERVE_SCHEMA_VERSION, SweepSpec
 
@@ -88,11 +104,17 @@ class Job:
     """One submitted sweep and everything known about its progress."""
 
     def __init__(self, job_id: str, spec: SweepSpec, engine: str,
-                 cells: List[SweepCell], keys: List[str]) -> None:
+                 cells: List[SweepCell], keys: List[str],
+                 registry: "MetricsRegistry | None" = None,
+                 log: "StructuredLog | NullLog | None" = None) -> None:
         self.id = job_id
         self.spec = spec
         self.engine = engine
         self.tenant = spec.tenant
+        self.registry = registry
+        self.log = log if log is not None else NullLog()
+        #: Workers that died while running (or retrying) this job's cells.
+        self.respawns = 0
         self.cells = cells
         self.entries = [
             CellEntry(i, c.benchmark, c.label, k)
@@ -140,6 +162,10 @@ class Job:
     def done(self) -> bool:
         return self.state in ("done", "failed")
 
+    @property
+    def retries(self) -> int:
+        return sum(e.attempts for e in self.entries)
+
     def stats(self) -> Dict:
         return {
             "n_cells": self.n_cells,
@@ -148,6 +174,8 @@ class Job:
             "deduped": self.deduped,
             "failed": self.failed,
             "resolved": self.resolved,
+            "retries": self.retries,
+            "respawns": self.respawns,
         }
 
     def summary(self) -> Dict:
@@ -207,6 +235,10 @@ class Job:
         if all(e.terminal for e in self.entries):
             self.state = "failed" if self.failed else "done"
             self.finished_ts = time.time()
+            if self.registry is not None:
+                self.registry.inc(M_JOBS_TOTAL, state=self.state)
+            self.log.event(EV_JOB_DONE, job_id=self.id, tenant=self.tenant,
+                           state=self.state, **self.stats())
             await self.post("job-done", state=self.state, stats=self.stats())
 
     # -- cell transitions (called by the queue only) ---------------------
@@ -230,14 +262,22 @@ class Job:
 class JobQueue:
     """Deduplicating work queue feeding the server's worker pool."""
 
-    def __init__(self, cache: Optional[DiskCache]) -> None:
+    def __init__(self, cache: Optional[DiskCache],
+                 registry: Optional[MetricsRegistry] = None,
+                 log: "StructuredLog | NullLog | None" = None) -> None:
         self.cache = cache
+        self.registry = registry if registry is not None else standard_registry()
+        self.log = log if log is not None else NullLog()
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []
         self._next_id = 1
         self.tasks: "asyncio.Queue[CellTask]" = asyncio.Queue()
         #: Cache key -> the task currently computing it (in-flight dedup).
         self._inflight: Dict[str, CellTask] = {}
+
+    def note_depth(self) -> None:
+        """Refresh the queue-depth gauge (call after any put/get)."""
+        self.registry.set_gauge(M_QUEUE_DEPTH, self.tasks.qsize())
 
     def job(self, job_id: str) -> Job:
         job = self.jobs.get(job_id)
@@ -254,13 +294,19 @@ class JobQueue:
         keys = [c.key() for c in cells]
         job_id = f"j{self._next_id:04d}"
         self._next_id += 1
-        job = Job(job_id, spec, engine, cells, keys)
+        job = Job(job_id, spec, engine, cells, keys,
+                  registry=self.registry, log=self.log)
         self.jobs[job_id] = job
         self._order.append(job_id)
         job.state = "running"
+        self.registry.inc(M_JOBS_TOTAL, state="submitted")
         for index, (cell, key) in enumerate(zip(cells, keys)):
             hit = self.cache.get(key) if self.cache is not None else None
             if hit is not None:
+                self.registry.inc(M_CELLS_TOTAL, source="cache")
+                self.log.event(EV_CELL_RESOLVED, job_id=job_id,
+                               tenant=job.tenant, source="cache",
+                               cell=f"{cell.benchmark}/{cell.label}")
                 await job._resolve(index, "cache", hit.to_dict())
                 continue
             primary = self._inflight.get(key)
@@ -272,6 +318,10 @@ class JobQueue:
             self._inflight[key] = task
             job.entries[index].status = "running"
             await self.tasks.put(task)
+        self.log.event(EV_JOB_SUBMITTED, job_id=job_id, tenant=job.tenant,
+                       engine=engine, n_cells=job.n_cells,
+                       cache_hits=job.cache_hits)
+        self.note_depth()
         await job._maybe_finish()
         return job
 
@@ -280,22 +330,49 @@ class JobQueue:
         task.attempts += 1
         entry = task.job.entries[task.index]
         entry.attempts = task.attempts
+        self.registry.inc(M_CELL_RETRIES)
+        self.log.event(EV_CELL_RETRIED, job_id=task.job.id,
+                       tenant=task.job.tenant,
+                       cell=f"{entry.benchmark}/{entry.label}",
+                       attempts=task.attempts)
         await task.job.post("cell-retried", benchmark=entry.benchmark,
                             label=entry.label, index=task.index,
                             attempts=task.attempts)
         await self.tasks.put(task)
+        self.note_depth()
 
     async def task_done(self, task: CellTask, source: str, result: Dict,
                         wall_s: float) -> None:
         """Resolve a completed task onto its job and every follower."""
         self._inflight.pop(task.key, None)
+        entry = task.job.entries[task.index]
+        self.registry.inc(M_CELLS_TOTAL, source=source)
+        if source == "run":
+            self.registry.observe(M_CELL_LATENCY, wall_s,
+                                  benchmark=entry.benchmark,
+                                  engine=task.job.engine)
         await task.job._resolve(task.index, source, result, wall_s)
         for job, index in task.followers:
+            fentry = job.entries[index]
+            self.registry.inc(M_CELLS_TOTAL, source="dedup")
+            self.log.event(EV_CELL_RESOLVED, job_id=job.id,
+                           tenant=job.tenant, source="dedup",
+                           cell=f"{fentry.benchmark}/{fentry.label}")
             await job._resolve(index, "dedup", result, 0.0)
 
     async def task_failed(self, task: CellTask, error: str) -> None:
         """Mark a task (and its followers) failed."""
         self._inflight.pop(task.key, None)
+        entry = task.job.entries[task.index]
+        self.registry.inc(M_CELLS_TOTAL, source="failed")
+        self.log.event(EV_CELL_FAILED, job_id=task.job.id,
+                       tenant=task.job.tenant,
+                       cell=f"{entry.benchmark}/{entry.label}", error=error)
         await task.job._resolve(task.index, "failed", None, error=error)
         for job, index in task.followers:
+            fentry = job.entries[index]
+            self.registry.inc(M_CELLS_TOTAL, source="failed")
+            self.log.event(EV_CELL_FAILED, job_id=job.id, tenant=job.tenant,
+                           cell=f"{fentry.benchmark}/{fentry.label}",
+                           error=error)
             await job._resolve(index, "failed", None, error=error)

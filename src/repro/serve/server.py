@@ -33,11 +33,25 @@ import json
 import os
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..common.errors import ServeError, WireError
+from ..obs.telemetry import (
+    EV_CELL_RESOLVED,
+    EV_WORKER_RESPAWNED,
+    EV_WORKER_SPAWNED,
+    M_WORKER_RESPAWNS,
+    M_WORKERS_ALIVE,
+    M_WORKERS_BUSY,
+    NullLog,
+    SpanLog,
+    StructuredLog,
+    TELEMETRY_SCHEMA_VERSION,
+    standard_registry,
+)
 from ..sim.executor import DiskCache, default_engine
 from .queue import CellTask, Job, JobQueue
 from .wire import SERVE_SCHEMA_VERSION, SweepSpec, encode_cell_request
@@ -151,6 +165,7 @@ class ServeServer:
         engine: Optional[str] = None,
         cache_dir: Optional[str] = None,
         max_attempts: int = 2,
+        log_path: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ServeError("need at least one worker")
@@ -160,15 +175,28 @@ class ServeServer:
         self.engine = engine if engine is not None else default_engine()
         self.cache_dir = cache_dir
         self.max_attempts = max_attempts
-        self.queue = JobQueue(DiskCache(cache_dir))
+        self.telemetry = standard_registry()
+        self.log = (
+            StructuredLog(path=log_path) if log_path is not None else NullLog()
+        )
+        self.spans = SpanLog()
+        self.started_ts = time.time()
+        self.queue = JobQueue(
+            DiskCache(cache_dir, registry=self.telemetry, log=self.log),
+            registry=self.telemetry, log=self.log,
+        )
         self.workers: List[WorkerHandle] = []
         self._free: "asyncio.Queue[WorkerHandle]" = asyncio.Queue()
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatch_task: Optional[asyncio.Task] = None
         self._stopping = asyncio.Event()
-        self._worker_env: Optional[Dict[str, str]] = None
+        self._worker_env: Dict[str, str] = {}
         if cache_dir is not None:
-            self._worker_env = {"REPRO_CACHE_DIR": str(cache_dir)}
+            self._worker_env["REPRO_CACHE_DIR"] = str(cache_dir)
+        if log_path is not None:
+            # Workers append to the same JSONL stream (O_APPEND, one
+            # write per line — safe across processes).
+            self._worker_env["REPRO_SERVE_LOG"] = str(Path(log_path).resolve())
         self._next_request = 1
 
     # -- lifecycle -------------------------------------------------------
@@ -208,19 +236,32 @@ class ServeServer:
         worker = WorkerHandle(env=self._worker_env)
         await worker.start()
         self.workers.append(worker)
+        self.log.event(EV_WORKER_SPAWNED, worker=worker.id, pid=worker.pid)
+        self._note_workers()
         await self._free.put(worker)
         return worker
+
+    def _note_workers(self) -> None:
+        """Refresh the worker-fleet gauges."""
+        self.telemetry.set_gauge(
+            M_WORKERS_ALIVE, sum(1 for w in self.workers if w.alive))
+        self.telemetry.set_gauge(
+            M_WORKERS_BUSY, sum(1 for w in self.workers if w.busy))
 
     # -- work dispatch ---------------------------------------------------
 
     async def _dispatch_loop(self) -> None:
         while True:
             task = await self.queue.tasks.get()
+            self.queue.note_depth()
             worker = await self._free.get()
             while not worker.alive:
                 # A worker that died idle (e.g. killed externally) is
                 # replaced before it can be handed work.
                 self.workers.remove(worker)
+                self.telemetry.inc(M_WORKER_RESPAWNS)
+                self.log.event(EV_WORKER_RESPAWNED, worker=worker.id,
+                               reason="died-idle")
                 await self._spawn_worker()
                 worker = await self._free.get()
             asyncio.create_task(self._run_task(worker, task))
@@ -236,6 +277,9 @@ class ServeServer:
         )
         self._next_request += 1
         worker.busy = True
+        self._note_workers()
+        t0 = time.time()
+        entry = task.job.entries[task.index]
         try:
             response = await worker.request(request)
         except WorkerDied as exc:
@@ -244,10 +288,17 @@ class ServeServer:
             if worker in self.workers:
                 self.workers.remove(worker)
             await worker.stop()
+            task.job.respawns += 1
+            self.telemetry.inc(M_WORKER_RESPAWNS)
+            self.log.event(EV_WORKER_RESPAWNED, worker=worker.id,
+                           job_id=task.job.id, tenant=task.job.tenant,
+                           cell=f"{entry.benchmark}/{entry.label}",
+                           reason="died-running")
             try:
                 await self._spawn_worker()
             except WorkerDied:
                 pass  # replacement failed; remaining workers carry on
+            self._note_workers()
             if task.attempts + 1 < self.max_attempts:
                 await self.queue.requeue(task)
             else:
@@ -259,14 +310,25 @@ class ServeServer:
         finally:
             worker.busy = False
         worker.cells_run += 1
+        self._note_workers()
         await self._free.put(worker)
         if response.get("status") == "ok":
             host = response.get("host") or {}
+            source = str(response.get("source", "run"))
+            wall_s = float(host.get("wall_s", 0.0))
+            self.spans.add(
+                job_id=task.job.id, index=task.index,
+                benchmark=entry.benchmark, label=entry.label,
+                worker=worker.id, source=source,
+                start_s=t0, end_s=time.time(), attempts=task.attempts,
+            )
+            self.log.event(EV_CELL_RESOLVED, job_id=task.job.id,
+                           tenant=task.job.tenant,
+                           cell=f"{entry.benchmark}/{entry.label}",
+                           source=source, worker=worker.id, wall_s=wall_s)
             await self.queue.task_done(
-                task,
-                source=str(response.get("source", "run")),
-                result=response["result"],
-                wall_s=float(host.get("wall_s", 0.0)),
+                task, source=source, result=response["result"],
+                wall_s=wall_s,
             )
         else:
             # A deterministic simulation error: retrying would fail the
@@ -339,6 +401,16 @@ class ServeServer:
         if path == "/v1/health" and method == "GET":
             await self._respond(writer, 200, self._health())
             return
+        if path == "/v1/metrics" and method == "GET":
+            await self._metrics(writer, query)
+            return
+        if path == "/v1/timeline" and method == "GET":
+            await self._respond(writer, 200, {
+                "schema": TELEMETRY_SCHEMA_VERSION,
+                "started_ts": self.started_ts,
+                **self.spans.to_wire(),
+            })
+            return
         if path == "/v1/jobs" and method == "POST":
             await self._submit(writer, body)
             return
@@ -386,6 +458,7 @@ class ServeServer:
             if self.queue.cache is not None else None,
             "jobs": len(self.queue.jobs),
             "pending_cells": self.queue.tasks.qsize(),
+            "respawns": int(self.telemetry.value(M_WORKER_RESPAWNS)),
             "workers": [
                 {"id": w.id, "pid": w.pid, "alive": w.alive,
                  "busy": w.busy, "cells_run": w.cells_run}
@@ -431,6 +504,32 @@ class ServeServer:
             if job.done and sent >= len(job.events):
                 break
         writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _metrics(self, writer, query: Dict[str, List[str]]) -> None:
+        """``GET /v1/metrics``: Prometheus text, or JSON snapshot.
+
+        Worker subprocesses prune the shared cache in their own
+        processes; reconcile their eviction totals from the sidecar
+        before every scrape so the counters are fleet-wide.
+        """
+        if self.queue.cache is not None:
+            self.queue.cache.sync_telemetry()
+        fmt = (query.get("format") or ["prometheus"])[0]
+        if fmt == "json":
+            await self._respond(writer, 200, self.telemetry.snapshot())
+            return
+        await self._respond_text(writer, self.telemetry.render_prometheus())
+
+    async def _respond_text(self, writer, text: str) -> None:
+        body = text.encode("utf-8")
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            "Connection: close\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
     async def _respond(self, writer, status: int, doc: Dict) -> None:

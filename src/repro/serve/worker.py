@@ -24,9 +24,22 @@ import os
 import sys
 from typing import Dict
 
+from ..obs.telemetry import NullLog, StructuredLog
 from ..sim.executor import CELL_WIRE_SCHEMA_VERSION, run_cell_request
 
 __all__ = ["handle_line", "main"]
+
+
+def _worker_log():
+    """The server-shared structured log, when ``$REPRO_SERVE_LOG`` is set.
+
+    The file is opened in append mode and every event is one write, so
+    any number of workers and the server can interleave lines safely.
+    """
+    path = os.environ.get("REPRO_SERVE_LOG")
+    if not path:
+        return NullLog()
+    return StructuredLog(path=path, fields={"worker_pid": os.getpid()})
 
 
 def handle_line(line: str) -> Dict:
@@ -48,12 +61,21 @@ def handle_line(line: str) -> Dict:
 
 
 def main() -> int:
+    log = _worker_log()
+    log.event("worker.online", pid=os.getpid())
     for line in sys.stdin:
         if not line.strip():
             continue
         response = handle_line(line)
+        if response.get("kind") == "cell-response":
+            log.event("worker.cell", request_id=response.get("id"),
+                      cell=f"{response.get('benchmark')}"
+                           f"/{response.get('label')}",
+                      status=response.get("status"),
+                      source=response.get("source"))
         sys.stdout.write(json.dumps(response, sort_keys=True) + "\n")
         sys.stdout.flush()
+    log.close()
     return 0
 
 

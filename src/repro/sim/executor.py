@@ -63,6 +63,24 @@ from ..common.config import MachineConfig, SimParams
 from ..common.errors import AnalysisError, ConfigError, SweepError
 from ..obs.hostprof import HostProfiler, peak_rss_kb
 from ..obs.ledger import Ledger, PerfRecord, default_perf_dir
+from ..obs.telemetry import (
+    EV_CACHE_PRUNE,
+    EV_CELL_FAILED,
+    EV_CELL_RESOLVED,
+    EV_SWEEP_DONE,
+    M_CACHE_EVICTED_BYTES,
+    M_CACHE_EVICTIONS,
+    M_CACHE_PRUNE_PASSES,
+    M_CELL_LATENCY,
+    M_CELLS_TOTAL,
+    M_QUEUE_DEPTH,
+    M_WORKERS_ALIVE,
+    M_WORKERS_BUSY,
+    MetricsRegistry,
+    NullLog,
+    StructuredLog,
+    standard_registry,
+)
 from ..workloads.benchmarks import build_benchmark
 from ..workloads.program import Program
 from .driver import ENGINES, run_program
@@ -217,12 +235,23 @@ def default_cache_quota_mb() -> Optional[float]:
 
 @dataclass
 class CacheStats:
-    """Size accounting for one :class:`DiskCache` directory."""
+    """Size accounting for one :class:`DiskCache` directory.
+
+    ``prune_passes``/``evicted_entries``/``evicted_bytes`` are the
+    *lifetime* quota-eviction totals of this cache directory, persisted
+    in a sidecar next to the entry tree (see
+    :meth:`DiskCache.eviction_totals`) so they survive process restarts
+    and aggregate across the service's worker subprocesses.
+    """
 
     root: str
     entries: int = 0
     total_bytes: int = 0
     quota_mb: Optional[float] = None
+    prune_passes: int = 0
+    evicted_entries: int = 0
+    evicted_bytes: int = 0
+    last_prune_ts: Optional[float] = None
 
     @property
     def total_mb(self) -> float:
@@ -235,6 +264,10 @@ class CacheStats:
             "total_bytes": self.total_bytes,
             "total_mb": self.total_mb,
             "quota_mb": self.quota_mb,
+            "prune_passes": self.prune_passes,
+            "evicted_entries": self.evicted_entries,
+            "evicted_bytes": self.evicted_bytes,
+            "last_prune_ts": self.last_prune_ts,
         }
 
 
@@ -286,10 +319,19 @@ class DiskCache:
         self,
         root: Union[str, Path, None] = None,
         max_mb: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        log: Union[StructuredLog, NullLog, None] = None,
     ) -> None:
         base = Path(root) if root is not None else default_cache_root()
+        self.base = base
         self.root = base / "results" / f"v{CACHE_SCHEMA_VERSION}"
+        #: Lifetime eviction totals live *next to* the entry tree, never
+        #: under it — ``_entries``/``prune`` rglob the tree and must not
+        #: count (or evict) the bookkeeping file.
+        self._totals_path = base / "eviction-totals.json"
         self.max_mb = max_mb if max_mb is not None else default_cache_quota_mb()
+        self.registry = registry
+        self.log = log if log is not None else NullLog()
         try:
             self._prune_interval = max(
                 1, int(os.environ.get("REPRO_CACHE_PRUNE_EVERY",
@@ -299,6 +341,10 @@ class DiskCache:
             self._prune_interval = self.PRUNE_INTERVAL
         self._puts_since_prune = 0
         self._write_warned = False
+        #: Telemetry baseline: only evictions that happen *after* this
+        #: instance opened the directory count into its registry —
+        #: historical totals belong to past runs' metrics, not this one's.
+        self._synced = self.eviction_totals()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -387,12 +433,89 @@ class DiskCache:
         return out
 
     def stats(self) -> CacheStats:
-        """Entry count and total size of the cache directory."""
+        """Entry count, total size, and lifetime eviction totals."""
         stats = CacheStats(root=str(self.root), quota_mb=self.max_mb)
         for _path, _mtime, size in self._entries():
             stats.entries += 1
             stats.total_bytes += size
+        totals = self.eviction_totals()
+        stats.prune_passes = totals["prune_passes"]
+        stats.evicted_entries = totals["evicted_entries"]
+        stats.evicted_bytes = totals["evicted_bytes"]
+        stats.last_prune_ts = totals["last_prune_ts"]
         return stats
+
+    # -- eviction accounting (quota satellite) ---------------------------
+
+    def eviction_totals(self) -> Dict:
+        """Lifetime quota-eviction totals of this cache directory.
+
+        Persisted in a sidecar *next to* the entry tree and updated by
+        every prune pass — including the ones the service's worker
+        subprocesses run — so the totals aggregate across processes and
+        survive restarts.  An unreadable sidecar reads as zeros: the
+        totals are observability, never correctness.
+        """
+        try:
+            with open(self._totals_path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            raw = {}
+        if not isinstance(raw, dict):
+            raw = {}
+        return {
+            "prune_passes": int(raw.get("prune_passes", 0)),
+            "evicted_entries": int(raw.get("evicted_entries", 0)),
+            "evicted_bytes": int(raw.get("evicted_bytes", 0)),
+            "last_prune_ts": raw.get("last_prune_ts"),
+        }
+
+    def _bump_totals(self, removed: int, freed_bytes: int) -> None:
+        """Fold one prune pass into the persistent totals (best-effort)."""
+        totals = self.eviction_totals()
+        totals["prune_passes"] += 1
+        totals["evicted_entries"] += removed
+        totals["evicted_bytes"] += freed_bytes
+        totals["last_prune_ts"] = time.time()  # lint: allow(DET001 host timestamp for cache bookkeeping, never feeds sim state)
+        tmp: Optional[str] = None
+        try:
+            self._totals_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self._totals_path.parent, prefix=".evict-", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(totals, fh, sort_keys=True)
+            os.replace(tmp, self._totals_path)
+            tmp = None
+        except OSError:
+            pass  # same best-effort posture as put()
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def sync_telemetry(self) -> None:
+        """Fold sidecar eviction totals into the attached registry.
+
+        Counters are monotonic, so the sidecar (which other processes —
+        service workers — also advance) is reconciled by delta: each call
+        adds only what changed since the last sync.  No-op without a
+        registry.
+        """
+        if self.registry is None:
+            return
+        totals = self.eviction_totals()
+        for metric, key in (
+            (M_CACHE_PRUNE_PASSES, "prune_passes"),
+            (M_CACHE_EVICTIONS, "evicted_entries"),
+            (M_CACHE_EVICTED_BYTES, "evicted_bytes"),
+        ):
+            delta = totals[key] - self._synced[key]
+            if delta > 0:
+                self.registry.inc(metric, delta)
+            self._synced[key] = totals[key]
 
     def prune(self, max_mb: Optional[float] = None) -> PruneResult:
         """Evict least-recently-used entries until the cache fits ``max_mb``.
@@ -427,6 +550,17 @@ class DiskCache:
                 continue
             result.removed += 1
             result.freed_bytes += size
+        self._bump_totals(result.removed, result.freed_bytes)
+        self.log.event(
+            EV_CACHE_PRUNE,
+            root=str(self.root),
+            removed=result.removed,
+            freed_bytes=result.freed_bytes,
+            kept=result.kept,
+            kept_bytes=result.kept_bytes,
+            quota_mb=max_mb,
+        )
+        self.sync_telemetry()
         return result
 
     def clear(self) -> int:
@@ -538,6 +672,10 @@ class SweepStats:
     serial_fallback: Optional[str] = None
     records: List[CellRecord] = field(default_factory=list)
     failures: List[CellFailure] = field(default_factory=list)
+    #: Final :meth:`MetricsRegistry.snapshot` of the run — the same
+    #: signal set the service exposes on ``GET /v1/metrics``, embedded
+    #: in the manifest so local sweeps are inspectable the same way.
+    telemetry: Optional[Dict] = None
 
     def to_manifest(self) -> Dict:
         """JSON-serializable run manifest."""
@@ -557,6 +695,7 @@ class SweepStats:
             "cache_root": self.cache_root,
             "cells": [dataclasses.asdict(r) for r in self.records],
             "failures": [dataclasses.asdict(f) for f in self.failures],
+            "telemetry": self.telemetry,
         }
 
     def write_manifest(self, path: Union[str, Path]) -> None:
@@ -770,6 +909,8 @@ def run_cells(
     perf_dir: Union[str, Path, None] = None,
     perf_context: str = "executor",
     engine: Optional[str] = None,
+    telemetry: Optional[MetricsRegistry] = None,
+    log: Union[StructuredLog, NullLog, None] = None,
 ) -> SweepOutcome:
     """Execute a sweep: resolve every cell from cache or simulation.
 
@@ -819,6 +960,17 @@ def run_cells(
         bit-identical on results, so a cached oracle result satisfies a
         fast-engine sweep and vice versa.  The engine used is recorded
         in the manifest and in each ledger record's provenance.
+    telemetry:
+        A :class:`~repro.obs.telemetry.MetricsRegistry` to emit the
+        fleet signal set into (cells by source, cell-latency histogram,
+        queue depth, cache evictions — the same names ``repro serve``
+        exposes on ``/v1/metrics``).  ``None`` uses a fresh
+        :func:`~repro.obs.telemetry.standard_registry`; either way the
+        final snapshot lands in ``stats.telemetry`` and the manifest.
+        Host-side only — results are bit-identical with or without it.
+    log:
+        A :class:`~repro.obs.telemetry.StructuredLog` for per-cell and
+        sweep-completion events (default: no logging).
     """
     cells = list(cells)
     if engine is None:
@@ -828,7 +980,12 @@ def run_cells(
             f"unknown engine {engine!r} (expected one of: {', '.join(ENGINES)})"
         )
     t_start = time.perf_counter()  # lint: allow(DET001 host wall-clock for sweep stats)
-    dcache = DiskCache(cache_dir) if _cache_enabled(cache) else None
+    registry = telemetry if telemetry is not None else standard_registry()
+    tlog = log if log is not None else NullLog()
+    dcache = (
+        DiskCache(cache_dir, registry=registry, log=tlog)
+        if _cache_enabled(cache) else None
+    )
 
     perf_root = Path(perf_dir) if perf_dir is not None else default_perf_dir()
     perf_on = perf if perf is not None else perf_root is not None
@@ -843,8 +1000,10 @@ def run_cells(
     )
     results: Dict[Tuple[str, str], SimResult] = {}
     records: Dict[Tuple[str, str], CellRecord] = {}
+    pending = 0  # cache-miss cells not yet ingested (queue-depth gauge)
 
     def ingest(cell: SweepCell, key: str, payload: Tuple[str, object, object]) -> None:
+        nonlocal pending
         status, first, second = payload
         if status == "ok":
             result = SimResult.from_dict(first)  # type: ignore[arg-type]
@@ -855,13 +1014,26 @@ def run_cells(
                 float(host["wall_s"]), host=host,
             )
             stats.executed += 1
+            registry.inc(M_CELLS_TOTAL, source="run")
+            registry.observe(M_CELL_LATENCY, float(host["wall_s"]),
+                             benchmark=cell.benchmark, engine=engine)
+            tlog.event(EV_CELL_RESOLVED,
+                       cell=f"{cell.benchmark}/{cell.label}",
+                       source="run", wall_s=float(host["wall_s"]),
+                       engine=engine)
             if dcache is not None:
                 dcache.put(key, result)
         else:
             stats.failed += 1
+            registry.inc(M_CELLS_TOTAL, source="failed")
+            tlog.event(EV_CELL_FAILED,
+                       cell=f"{cell.benchmark}/{cell.label}",
+                       error=str(first))
             stats.failures.append(
                 CellFailure(cell.benchmark, cell.label, key, str(first), str(second))
             )
+        pending = max(0, pending - 1)
+        registry.set_gauge(M_QUEUE_DEPTH, pending)
 
     # Phase 1: cache lookups (always in-process — lookups are cheap).
     to_run: List[Tuple[SweepCell, str]] = []
@@ -876,9 +1048,15 @@ def run_cells(
                 cell.benchmark, cell.label, key, "cache", 0.0
             )
             stats.cache_hits += 1
+            registry.inc(M_CELLS_TOTAL, source="cache")
+            tlog.event(EV_CELL_RESOLVED,
+                       cell=f"{cell.benchmark}/{cell.label}",
+                       source="cache", wall_s=0.0)
         else:
             stats.cache_misses += 1
             to_run.append((cell, key))
+    pending = len(to_run)
+    registry.set_gauge(M_QUEUE_DEPTH, pending)
 
     # Phase 2: execute the misses — fanned out or serial.  A ``jobs > 1``
     # request that cannot be honoured is recorded in the manifest and
@@ -942,6 +1120,8 @@ def run_cells(
         gc.freeze()
     if use_parallel:
         stats.jobs_used = min(jobs, len(to_run))
+        registry.set_gauge(M_WORKERS_ALIVE, stats.jobs_used)
+        registry.set_gauge(M_WORKERS_BUSY, stats.jobs_used)
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=stats.jobs_used, mp_context=ctx) as pool:
             futures = {
@@ -963,6 +1143,8 @@ def run_cells(
                 ingest(cell, key, payload)
     else:
         stats.jobs_used = 1
+        registry.set_gauge(M_WORKERS_ALIVE, 1 if to_run else 0)
+        registry.set_gauge(M_WORKERS_BUSY, 1 if to_run else 0)
         for cell, key in to_run:
             if progress is not None:
                 progress(cell.benchmark, cell.label)
@@ -983,6 +1165,15 @@ def run_cells(
     if ledger is not None:
         _record_perf(ledger, cells, ordered, records, stats, perf_context,
                      engine)
+
+    registry.set_gauge(M_WORKERS_BUSY, 0)
+    if dcache is not None:
+        dcache.sync_telemetry()
+    stats.telemetry = registry.snapshot()
+    tlog.event(EV_SWEEP_DONE, engine=engine, n_cells=stats.n_cells,
+               cache_hits=stats.cache_hits, executed=stats.executed,
+               failed=stats.failed, wall_s=stats.wall_s,
+               jobs_used=stats.jobs_used)
 
     if manifest_path is not None:
         stats.write_manifest(manifest_path)

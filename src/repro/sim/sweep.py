@@ -66,6 +66,8 @@ def run_grid(
     manifest_path: Union[str, Path, None] = None,
     perf_context: str = "sweep",
     engine: Optional[str] = None,
+    telemetry=None,
+    log=None,
 ) -> ResultGrid:
     """Run every benchmark × configuration pair.
 
@@ -80,6 +82,10 @@ def run_grid(
     is set, executed cells are appended to the perf ledger under
     ``perf_context``.  ``engine`` selects the simulation engine for
     executed cells (``None``: ``$REPRO_ENGINE`` or ``oracle``).
+    ``telemetry``/``log`` (a
+    :class:`~repro.obs.telemetry.MetricsRegistry` / ``StructuredLog``)
+    receive the fleet signal set — host-side only, results are
+    bit-identical with or without them.
     """
     cells = grid_cells(configs, benchmarks, params)
     outcome = run_cells(
@@ -91,6 +97,8 @@ def run_grid(
         manifest_path=manifest_path,
         perf_context=perf_context,
         engine=engine,
+        telemetry=telemetry,
+        log=log,
     )
     return outcome.results
 

@@ -41,7 +41,7 @@ def rules_fired(source: str, module: str) -> set:
 
 class TestRuleCatalog:
     def test_every_rule_has_metadata(self):
-        assert len(RULES) == 9
+        assert len(RULES) == 10
         for rule in RULES:
             assert rule.title and rule.rationale
             assert RULES_BY_ID[rule.id] is rule
@@ -194,6 +194,30 @@ class TestRuleCatalog:
             "def f(tr):\n    tr.emit(L1_MISS, 0, 1)\n"
         )
         assert "OBS001" not in rules_fired(src, "repro.mem.x")
+
+    # -- OBS003 ------------------------------------------------------------
+
+    def test_obs003_fires_on_literal_metric_name(self):
+        for call in (
+            "reg.inc('repro_cells_total', source='run')",
+            "reg.set_gauge('repro_queue_depth', 3)",
+            "reg.observe('repro_cell_latency_seconds', 0.5)",
+            "reg.inc(name='repro_cells_total')",
+        ):
+            src = f"def f(reg):\n    {call}\n"
+            assert "OBS003" in rules_fired(src, "repro.serve.x"), call
+
+    def test_obs003_silent_on_name_constant(self):
+        src = (
+            "from repro.obs.telemetry import M_CELLS_TOTAL\n"
+            "def f(reg):\n    reg.inc(M_CELLS_TOTAL, source='run')\n"
+        )
+        assert "OBS003" not in rules_fired(src, "repro.serve.x")
+
+    def test_obs003_silent_on_unrelated_inc(self):
+        # A counter object with .inc() taking no name must not match.
+        src = "def f(counter):\n    counter.inc()\n"
+        assert "OBS003" not in rules_fired(src, "repro.serve.x")
 
     # -- EXC001 ------------------------------------------------------------
 

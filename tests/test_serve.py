@@ -374,7 +374,8 @@ class TestService:
             victim = client.health()["workers"][0]["pid"]
             # Let it get its teeth into a cell, then kill it.
             time.sleep(0.8)
-            if client.job(job["job_id"])["state"] == "running":
+            killed = client.job(job["job_id"])["state"] == "running"
+            if killed:
                 os.kill(victim, signal.SIGKILL)
             status = client.wait(job["job_id"])
             assert status["state"] == "done"
@@ -382,8 +383,23 @@ class TestService:
             grid = client.result_grid(job["job_id"])
             assert len(grid) == 6
             # The replacement worker is alive and is a different process.
-            workers = client.health()["workers"]
-            assert any(w["alive"] for w in workers)
+            health = client.health()
+            assert any(w["alive"] for w in health["workers"])
+            if killed:
+                # The death is visible fleet-wide: health, /v1/metrics,
+                # and the job's own stats all count the respawn/retry.
+                from repro.obs.telemetry import (
+                    M_CELL_RETRIES,
+                    M_WORKER_RESPAWNS,
+                    snapshot_value,
+                )
+
+                assert health["respawns"] >= 1
+                snap = client.metrics()
+                assert snapshot_value(snap, M_WORKER_RESPAWNS) >= 1
+                assert snapshot_value(snap, M_CELL_RETRIES) >= 1
+                assert status["respawns"] >= 1
+                assert status["retries"] >= 1
 
     def test_event_stream_resumes_from_since(self, server):
         client = ServeClient(port=server.port)
@@ -432,6 +448,168 @@ class TestService:
         client = ServeClient(port=1, timeout=0.2)  # nothing listens here
         with pytest.raises(ServeError, match="reconnects"):
             client.wait("j0001", max_reconnects=2, reconnect_delay_s=0.01)
+
+    def test_metrics_under_concurrent_jobs(self, server):
+        from repro.obs.telemetry import (
+            M_CELL_LATENCY,
+            M_CELLS_TOTAL,
+            M_JOBS_TOTAL,
+            snapshot_hist,
+            snapshot_total,
+            snapshot_value,
+        )
+
+        client = ServeClient(port=server.port)
+        spec = make_spec(benchmarks=("175.vpr", "164.gzip"),
+                         labels=("orig", "vc"))
+        # Two identical grids in flight together: the overlap resolves
+        # through the follower table or the cache, never a second run.
+        first = client.submit(spec)
+        second = client.submit(spec)
+        client.wait(first["job_id"])
+        client.wait(second["job_id"])
+
+        snap = client.metrics()
+        by_layer = {
+            layer: snapshot_value(snap, M_CELLS_TOTAL, {"source": layer})
+            for layer in ("cache", "dedup", "run", "failed")
+        }
+        # Per-layer counts sum to the total cell count of both jobs.
+        assert sum(by_layer.values()) == snapshot_total(snap, M_CELLS_TOTAL) == 8
+        assert by_layer["run"] == 4
+        assert by_layer["failed"] == 0
+        assert by_layer["cache"] + by_layer["dedup"] == 4
+        assert snapshot_value(snap, M_JOBS_TOTAL, {"state": "submitted"}) == 2
+        assert snapshot_value(snap, M_JOBS_TOTAL, {"state": "done"}) == 2
+        # Executed cells landed in the latency histogram (nonzero
+        # buckets: total count equals the run-layer count).
+        count, total_s = snapshot_hist(snap, M_CELL_LATENCY)
+        assert count == 4
+        assert total_s > 0.0
+        hist = snap["metrics"][M_CELL_LATENCY]
+        assert any(sum(s["counts"]) > 0 for s in hist["series"])
+
+    def test_metrics_prometheus_text(self, server):
+        from repro.obs.telemetry import M_CELLS_TOTAL, M_WORKERS_ALIVE
+
+        client = ServeClient(port=server.port)
+        client.wait(client.submit(make_spec(labels=("orig",)))["job_id"])
+        text = client.metrics_text()
+        assert f"# TYPE {M_CELLS_TOTAL} counter" in text
+        assert f'{M_CELLS_TOTAL}{{source="run"}} 1' in text
+        assert f"{M_WORKERS_ALIVE} 2" in text
+
+    def test_since_replay_exact_after_metrics_poll(self, server):
+        # Scraping /v1/metrics between event reads must never disturb
+        # the exactly-once ?since= replay contract.
+        client = ServeClient(port=server.port)
+        job = client.submit(make_spec(labels=("orig", "vc")))
+        client.wait(job["job_id"])
+        stream = client.events(job["job_id"], since=0)
+        first = next(stream)
+        stream.close()
+        client.metrics()
+        client.metrics_text()
+        rest = list(client.events(job["job_id"], since=first["seq"]))
+        seqs = [first["seq"]] + [e["seq"] for e in rest]
+        assert seqs == list(range(1, len(seqs) + 1))
+        assert rest[-1]["kind"] == "job-done"
+
+    def test_job_stats_surface_retries_and_respawns(self, server):
+        client = ServeClient(port=server.port)
+        job = client.submit(make_spec(labels=("orig",)))
+        status = client.wait(job["job_id"])
+        # No worker died: both counters present and zero.
+        assert status["retries"] == 0
+        assert status["respawns"] == 0
+        assert all("retries" in j and "respawns" in j
+                   for j in client.jobs())
+        assert "respawns" in client.health()
+
+    def test_timeline_spans_executed_cells(self, server):
+        client = ServeClient(port=server.port)
+        job = client.submit(make_spec(labels=("orig", "vc")))
+        status = client.wait(job["job_id"])
+        doc = client.timeline()
+        spans = doc["spans"]
+        assert len(spans) == status["executed"]
+        for span in spans:
+            assert span["job_id"] == job["job_id"]
+            assert span["worker"].startswith("w")
+            assert span["end_s"] >= span["start_s"]
+            assert span["source"] in ("run", "cache")
+        assert doc["n_dropped"] == 0
+
+    def test_structured_log_correlates_job_and_workers(self, tmp_path):
+        log_path = tmp_path / "serve.jsonl"
+        with ServerThread(workers=1, cache_dir=str(tmp_path / "cache"),
+                          engine="fast", log_path=str(log_path)) as srv:
+            client = ServeClient(port=srv.port)
+            job = client.submit(make_spec(labels=("orig", "vc"),
+                                          tenant="team-t"))
+            client.wait(job["job_id"])
+        records = [json.loads(l) for l in log_path.read_text().splitlines()]
+        events = [r["event"] for r in records]
+        assert "worker.spawned" in events
+        assert "job.submitted" in events
+        assert "job.done" in events
+        resolved = [r for r in records if r["event"] == "cell.resolved"]
+        assert len(resolved) == 2
+        assert all(r["job_id"] == job["job_id"] for r in resolved)
+        assert all(r["tenant"] == "team-t" for r in resolved)
+        assert all(r["worker"] == "w1" or r["worker"].startswith("w")
+                   for r in resolved)
+        done = [r for r in records if r["event"] == "job.done"][0]
+        assert done["state"] == "done"
+        assert done["n_cells"] == 2
+        # The worker subprocess wrote into the same file.
+        worker_lines = [r for r in records if "worker_pid" in r]
+        assert any(r["event"] == "worker.online" for r in worker_lines)
+        assert any(r["event"] == "worker.cell" for r in worker_lines)
+
+    def test_serve_top_once_renders_fleet_frame(self, server, capsys):
+        from repro.cli import main
+
+        client = ServeClient(port=server.port)
+        client.wait(client.submit(make_spec(labels=("orig", "vc")))["job_id"])
+        assert main(["serve", "top", "--port", str(server.port),
+                     "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro serve top" in out
+        assert "workers" in out
+        assert "2 run" in out
+        assert "1 submitted" in out
+
+    def test_jobs_listing_includes_retries_and_respawns(self, server,
+                                                        capsys):
+        from repro.cli import main
+
+        client = ServeClient(port=server.port)
+        client.wait(client.submit(make_spec(labels=("orig",)))["job_id"])
+        assert main(["jobs", "--port", str(server.port)]) == 0
+        out = capsys.readouterr().out
+        assert "retries" in out
+        assert "respawns" in out
+
+    def test_jobs_timeline_writes_perfetto_trace(self, server, tmp_path,
+                                                 capsys):
+        from repro.cli import main
+
+        client = ServeClient(port=server.port)
+        client.wait(client.submit(make_spec(labels=("orig",)))["job_id"])
+        out_path = tmp_path / "svc.json"
+        assert main(["jobs", "--port", str(server.port),
+                     "--timeline", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["otherData"]["clock"] == "1 trace us = 1 host microsecond"
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_cache_stats_prints_eviction_totals(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "evicted : 0 entr(y/ies)" in out
 
     def test_service_ledger_provenance(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_PERF_DIR", str(tmp_path / "perf"))

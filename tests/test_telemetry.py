@@ -1,0 +1,478 @@
+"""Tests for service & fleet telemetry (:mod:`repro.obs.telemetry`).
+
+Four layers:
+
+* **Registry** — counter/gauge/histogram semantics, declaration
+  conflicts, exact-label enforcement, the bounded-cardinality overflow
+  series, snapshot determinism and the Prometheus text rendering.
+* **Logs & spans** — StructuredLog JSONL emission with bound
+  correlation fields, the NullLog no-op, SpanLog drop-oldest capacity,
+  and the Perfetto service-trace export.
+* **Executor integration** — ``run_cells`` emitting the shared signal
+  set (per-layer dedup counts, latency histogram, queue-depth gauge)
+  and embedding the final snapshot in the sweep manifest.
+* **The prime directive** — telemetry-enabled runs are bit-identical
+  to telemetry-off runs across the config ladder, and DiskCache
+  eviction totals survive process boundaries via the sidecar without
+  double-counting into fresh registries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import SimParams, named_config
+from repro.obs.export import SERVICE_PID, service_trace, write_service_trace
+from repro.obs.telemetry import (
+    LATENCY_BUCKETS_S,
+    M_CACHE_EVICTIONS,
+    M_CACHE_EVICTED_BYTES,
+    M_CACHE_PRUNE_PASSES,
+    M_CELL_LATENCY,
+    M_CELLS_TOTAL,
+    M_QUEUE_DEPTH,
+    MAX_SERIES_PER_METRIC,
+    METRIC_NAMES,
+    MetricsRegistry,
+    NullLog,
+    OVERFLOW_LABEL,
+    SpanLog,
+    StructuredLog,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryError,
+    snapshot_hist,
+    snapshot_total,
+    snapshot_value,
+    standard_registry,
+)
+from repro.sim.executor import DiskCache, SweepCell, run_cell, run_cells
+from repro.sim.sweep import run_grid
+
+TINY = SimParams(seed=7, scale=2e-5, warmup_invocations=0)
+
+#: The full wrong-execution ladder the diff CLI pins down.
+LADDER = ["orig", "wp", "wth", "wth-wp", "wth-wp-wec", "vc", "nlp",
+          "stream-pf"]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    for var in ("REPRO_CACHE_DIR", "REPRO_CACHE_MAX_MB", "REPRO_PERF_DIR",
+                "REPRO_ENGINE", "REPRO_SANITIZE"):
+        monkeypatch.delenv(var, raising=False)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_inc_and_value(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", "help", labels=("kind",))
+        reg.inc("t_total", kind="a")
+        reg.inc("t_total", 2, kind="a")
+        reg.inc("t_total", kind="b")
+        assert reg.value("t_total", kind="a") == 3.0
+        assert reg.value("t_total", kind="b") == 1.0
+        assert reg.value("t_total", kind="never") == 0.0
+
+    def test_counter_is_monotonic(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total")
+        with pytest.raises(TelemetryError, match="monotonic"):
+            reg.inc("t_total", -1)
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        reg.gauge("t_depth")
+        reg.set_gauge("t_depth", 5)
+        reg.set_gauge("t_depth", 2)
+        assert reg.value("t_depth") == 2.0
+
+    def test_undeclared_metric_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="never declared"):
+            reg.inc("nope_total")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total")
+        with pytest.raises(TelemetryError, match="is a counter"):
+            reg.set_gauge("t_total", 1)
+
+    def test_label_set_is_exact(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", labels=("kind",))
+        with pytest.raises(TelemetryError, match="declared labels"):
+            reg.inc("t_total")
+        with pytest.raises(TelemetryError, match="declared labels"):
+            reg.inc("t_total", kind="a", extra="b")
+
+    def test_identical_redeclare_is_idempotent(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", "help", labels=("kind",))
+        reg.counter("t_total", "other help text", labels=("kind",))
+        reg.inc("t_total", kind="a")
+        assert reg.value("t_total", kind="a") == 1.0
+
+    def test_conflicting_redeclare_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", labels=("kind",))
+        with pytest.raises(TelemetryError, match="re-declared"):
+            reg.gauge("t_total")
+        with pytest.raises(TelemetryError, match="re-declared"):
+            reg.counter("t_total", labels=("other",))
+
+    def test_histogram_buckets_must_increase(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            reg.histogram("t_seconds", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(TelemetryError, match="needs buckets"):
+            reg.histogram("t_seconds", buckets=())
+
+    def test_histogram_observation_slots(self):
+        reg = MetricsRegistry()
+        reg.histogram("t_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.1, 0.5, 2.0):  # <=0.1, ==0.1, <=1.0, +Inf
+            reg.observe("t_seconds", v)
+        doc = reg.snapshot()["metrics"]["t_seconds"]
+        series = doc["series"][0]
+        assert series["counts"] == [2, 1, 1]
+        assert series["count"] == 4
+        assert series["sum"] == pytest.approx(2.65)
+
+    def test_histogram_value_read_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("t_seconds", buckets=(1.0,))
+        with pytest.raises(TelemetryError, match="histogram"):
+            reg.value("t_seconds")
+
+    def test_cardinality_overflow_collapses(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", labels=("who",))
+        for i in range(MAX_SERIES_PER_METRIC + 10):
+            reg.inc("t_total", who=f"tenant-{i}")
+        doc = reg.snapshot()["metrics"]["t_total"]
+        assert len(doc["series"]) == MAX_SERIES_PER_METRIC + 1
+        overflow = [s for s in doc["series"]
+                    if s["labels"]["who"] == OVERFLOW_LABEL]
+        assert len(overflow) == 1
+        assert overflow[0]["value"] == 10.0
+        # Nothing is lost: total across series is every inc.
+        assert snapshot_total(reg.snapshot(), "t_total") == (
+            MAX_SERIES_PER_METRIC + 10)
+
+    def test_snapshot_is_sorted_and_json_round_trips(self):
+        reg = standard_registry()
+        reg.inc(M_CELLS_TOTAL, source="run")
+        reg.inc(M_CELLS_TOTAL, source="cache")
+        snap = reg.snapshot()
+        assert snap["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert list(snap["metrics"]) == sorted(snap["metrics"])
+        sources = [s["labels"]["source"]
+                   for s in snap["metrics"][M_CELLS_TOTAL]["series"]]
+        assert sources == sorted(sources)
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_standard_registry_declares_the_whole_signal_set(self):
+        snap = standard_registry().snapshot()
+        assert set(snap["metrics"]) == set(METRIC_NAMES)
+
+    def test_prometheus_rendering(self):
+        reg = standard_registry()
+        reg.inc(M_CELLS_TOTAL, 3, source="run")
+        reg.set_gauge(M_QUEUE_DEPTH, 7)
+        reg.observe(M_CELL_LATENCY, 0.003, benchmark="181.mcf",
+                    engine="fast")
+        reg.observe(M_CELL_LATENCY, 999.0, benchmark="181.mcf",
+                    engine="fast")
+        text = reg.render_prometheus()
+        assert f"# TYPE {M_CELLS_TOTAL} counter" in text
+        assert f'{M_CELLS_TOTAL}{{source="run"}} 3' in text
+        assert f"{M_QUEUE_DEPTH} 7" in text
+        # Cumulative buckets: every bound holds the 3ms observation,
+        # +Inf holds both.
+        assert (f'{M_CELL_LATENCY}_bucket{{benchmark="181.mcf",'
+                f'engine="fast",le="0.005"}} 1') in text
+        assert (f'{M_CELL_LATENCY}_bucket{{benchmark="181.mcf",'
+                f'engine="fast",le="+Inf"}} 2') in text
+        assert (f'{M_CELL_LATENCY}_count{{benchmark="181.mcf",'
+                f'engine="fast"}} 2') in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total", labels=("who",))
+        reg.inc("t_total", who='a"b\\c\nd')
+        assert '{who="a\\"b\\\\c\\nd"}' in reg.render_prometheus()
+
+    def test_snapshot_readers(self):
+        reg = standard_registry()
+        reg.inc(M_CELLS_TOTAL, 2, source="run")
+        reg.inc(M_CELLS_TOTAL, 5, source="cache")
+        reg.observe(M_CELL_LATENCY, 1.5, benchmark="b", engine="fast")
+        snap = reg.snapshot()
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "run"}) == 2.0
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "nope"}) == 0.0
+        assert snapshot_value(snap, "never_declared") == 0.0
+        assert snapshot_total(snap, M_CELLS_TOTAL) == 7.0
+        assert snapshot_hist(snap, M_CELL_LATENCY) == (1, 1.5)
+        assert snapshot_hist(snap, M_CELLS_TOTAL) == (0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# structured logs and spans
+# ---------------------------------------------------------------------------
+
+
+class TestStructuredLog:
+    def test_events_are_jsonl_with_bound_fields(self, tmp_path):
+        path = tmp_path / "log" / "serve.jsonl"
+        log = StructuredLog(path=path)
+        child = log.bind(job_id="j0001", tenant="ci")
+        child.event("cell.resolved", cell="175.vpr/orig", source="run")
+        log.event("job.done", state="done")
+        log.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["event"] == "cell.resolved"
+        assert lines[0]["job_id"] == "j0001"
+        assert lines[0]["tenant"] == "ci"
+        assert lines[0]["source"] == "run"
+        assert "ts" in lines[0]
+        # The parent logger never inherited the child's bound fields.
+        assert "job_id" not in lines[1]
+
+    def test_bind_chains_and_call_fields_win(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        log = StructuredLog(path=path).bind(worker="w1").bind(job_id="j2")
+        log.event("x", worker="w9")
+        log.close()
+        record = json.loads(path.read_text())
+        assert record["worker"] == "w9"
+        assert record["job_id"] == "j2"
+
+    def test_append_mode_across_instances(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        StructuredLog(path=path).event("a")
+        StructuredLog(path=path).event("b")
+        events = [json.loads(l)["event"]
+                  for l in path.read_text().splitlines()]
+        assert events == ["a", "b"]
+
+    def test_null_log_is_inert(self):
+        log = NullLog()
+        assert log.bind(job_id="x") is log
+        log.event("anything", n=1)
+        log.close()
+
+
+class TestSpanLog:
+    def span(self, i=0, worker="w1"):
+        return dict(job_id="j0001", index=i, benchmark="175.vpr",
+                    label="orig", worker=worker, source="run",
+                    start_s=100.0 + i, end_s=100.5 + i, attempts=0)
+
+    def test_capacity_drops_oldest(self):
+        spans = SpanLog(capacity=2)
+        for i in range(3):
+            spans.add(**self.span(i))
+        assert len(spans) == 2
+        wire = spans.to_wire()
+        assert wire["n_dropped"] == 1
+        assert [s["index"] for s in wire["spans"]] == [1, 2]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TelemetryError, match="capacity"):
+            SpanLog(capacity=0)
+
+    def test_service_trace_export(self):
+        spans = SpanLog()
+        spans.add(**self.span(0, worker="w1"))
+        spans.add(**self.span(1, worker="w2"))
+        doc = service_trace(spans.to_wire()["spans"], label="test")
+        assert doc["otherData"]["n_spans"] == 2
+        events = doc["traceEvents"]
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert {"repro serve workers", "worker w1", "worker w2"} <= names
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        assert all(e["pid"] == SERVICE_PID for e in xs)
+        # Normalized to the earliest span; 1 us = 1 host us.
+        assert xs[0]["ts"] == 0.0
+        assert xs[0]["dur"] == pytest.approx(0.5e6)
+        assert xs[1]["ts"] == pytest.approx(1e6)
+        assert xs[0]["name"] == "175.vpr/orig"
+        assert {xs[0]["tid"], xs[1]["tid"]} == {1, 2}
+
+    def test_write_service_trace(self, tmp_path):
+        spans = SpanLog()
+        spans.add(**self.span())
+        out = write_service_trace(spans.to_wire()["spans"],
+                                  tmp_path / "svc.json")
+        doc = json.loads(out.read_text())
+        assert doc["otherData"]["clock"] == "1 trace us = 1 host microsecond"
+
+
+# ---------------------------------------------------------------------------
+# executor integration
+# ---------------------------------------------------------------------------
+
+
+def tiny_cells(labels=("orig", "vc"), benches=("175.vpr",)):
+    return [SweepCell(b, name, named_config(name), TINY)
+            for b in benches for name in labels]
+
+
+class TestExecutorTelemetry:
+    def test_run_cells_emits_the_signal_set(self, tmp_path):
+        reg = standard_registry()
+        log_path = tmp_path / "sweep.jsonl"
+        outcome = run_cells(tiny_cells(), cache_dir=tmp_path / "cache",
+                            engine="fast", telemetry=reg,
+                            log=StructuredLog(path=log_path))
+        snap = outcome.stats.telemetry
+        assert snap is not None
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "run"}) == 2.0
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "cache"}) == 0.0
+        assert snapshot_hist(snap, M_CELL_LATENCY)[0] == 2
+        assert snapshot_value(snap, M_QUEUE_DEPTH) == 0.0
+        events = [json.loads(l)["event"]
+                  for l in log_path.read_text().splitlines()]
+        assert events.count("cell.resolved") == 2
+        assert events[-1] == "sweep.done"
+
+        # Warm re-run: every cell lands in the cache layer.
+        outcome2 = run_cells(tiny_cells(), cache_dir=tmp_path / "cache",
+                             engine="fast")
+        snap2 = outcome2.stats.telemetry
+        assert snapshot_value(snap2, M_CELLS_TOTAL, {"source": "cache"}) == 2.0
+        assert snapshot_value(snap2, M_CELLS_TOTAL, {"source": "run"}) == 0.0
+        assert snapshot_hist(snap2, M_CELL_LATENCY)[0] == 0
+
+    def test_manifest_embeds_snapshot(self, tmp_path):
+        manifest = tmp_path / "manifest.json"
+        run_cells(tiny_cells(labels=("orig",)), cache_dir=tmp_path / "cache",
+                  engine="fast", manifest_path=manifest)
+        doc = json.loads(manifest.read_text())
+        snap = doc["telemetry"]
+        assert snap["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert snapshot_total(snap, M_CELLS_TOTAL) == doc["n_cells"] == 1
+
+    def test_layer_counts_sum_to_cell_count(self, tmp_path):
+        # Half the grid pre-warmed: cache + run must sum to n_cells.
+        run_cells(tiny_cells(labels=("orig",)), cache_dir=tmp_path / "cache",
+                  engine="fast")
+        outcome = run_cells(tiny_cells(labels=("orig", "vc")),
+                            cache_dir=tmp_path / "cache", engine="fast")
+        snap = outcome.stats.telemetry
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "cache"}) == 1.0
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "run"}) == 1.0
+        assert snapshot_total(snap, M_CELLS_TOTAL) == 2.0
+
+    def test_failed_cells_count_in_failed_layer(self, tmp_path):
+        cells = tiny_cells(labels=("orig",)) + [
+            SweepCell("nosuch.bench", "orig", named_config("orig"), TINY)
+        ]
+        outcome = run_cells(cells, cache=False, engine="fast", strict=False)
+        snap = outcome.stats.telemetry
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "failed"}) == 1.0
+        assert snapshot_value(snap, M_CELLS_TOTAL, {"source": "run"}) == 1.0
+
+    def test_telemetry_runs_are_bit_identical(self, tmp_path):
+        # The prime directive: observers never perturb results, across
+        # the full wrong-execution ladder.
+        configs = {name: named_config(name) for name in LADDER}
+        plain = run_grid(configs, benchmarks=["175.vpr"], params=TINY,
+                         cache=False, engine="fast")
+        reg = standard_registry()
+        logged = run_grid(configs, benchmarks=["175.vpr"], params=TINY,
+                          cache=False, engine="fast", telemetry=reg,
+                          log=StructuredLog(path=tmp_path / "t.jsonl"))
+        assert set(plain) == set(logged)
+        for key in plain:
+            assert plain[key].to_dict() == logged[key].to_dict(), key
+        # And the telemetry did actually record the run.
+        assert reg.value(M_CELLS_TOTAL, source="run") == len(LADDER)
+
+
+# ---------------------------------------------------------------------------
+# cache eviction totals (sidecar + registry sync)
+# ---------------------------------------------------------------------------
+
+
+class TestEvictionTotals:
+    def fill(self, cache, result, n=6):
+        keys = [f"{i:02x}" + "9" * 62 for i in range(n)]
+        for age, key in enumerate(keys):
+            cache.put(key, result)
+            os.utime(cache._path(key), (1_000_000 + age, 1_000_000 + age))
+        return keys
+
+    def entry_mb(self, cache):
+        return cache.stats().total_bytes / len(cache) / (1024 * 1024)
+
+    def test_prune_updates_sidecar_and_registry(self, tmp_path):
+        reg = standard_registry()
+        cache = DiskCache(tmp_path, registry=reg)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        self.fill(cache, result)
+        pruned = cache.prune(self.entry_mb(cache) * 2.5)
+        assert pruned.removed == 4
+        assert reg.value(M_CACHE_PRUNE_PASSES) == 1.0
+        assert reg.value(M_CACHE_EVICTIONS) == 4.0
+        assert reg.value(M_CACHE_EVICTED_BYTES) == pruned.freed_bytes
+        stats = cache.stats()
+        assert stats.prune_passes == 1
+        assert stats.evicted_entries == 4
+        assert stats.evicted_bytes == pruned.freed_bytes
+        assert stats.last_prune_ts is not None
+        assert stats.to_dict()["evicted_entries"] == 4
+
+    def test_sidecar_never_counted_as_an_entry(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        self.fill(cache, result, n=3)
+        cache.prune(self.entry_mb(cache) * 1.5)  # writes the sidecar
+        assert cache.stats().entries == 1
+        # A full prune-to-zero must not evict the totals file.
+        cache.prune(0.0)
+        assert cache.eviction_totals()["prune_passes"] == 2
+
+    def test_totals_persist_without_historical_double_count(self, tmp_path):
+        cache1 = DiskCache(tmp_path)
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        self.fill(cache1, result)
+        cache1.prune(self.entry_mb(cache1) * 2.5)
+
+        # A fresh instance sees the lifetime totals...
+        reg = standard_registry()
+        cache2 = DiskCache(tmp_path, registry=reg)
+        assert cache2.stats().evicted_entries == 4
+        # ...but its registry baseline starts *now*: historical
+        # evictions never inflate a new registry's counters.
+        cache2.sync_telemetry()
+        assert reg.value(M_CACHE_EVICTIONS) == 0.0
+
+        self.fill(cache2, result)
+        cache2.prune(self.entry_mb(cache2) * 2.5)
+        assert reg.value(M_CACHE_EVICTIONS) == 4.0
+        assert cache2.stats().evicted_entries == 8
+
+    def test_log_event_on_prune(self, tmp_path):
+        log_path = tmp_path / "log.jsonl"
+        cache = DiskCache(tmp_path / "cache",
+                          log=StructuredLog(path=log_path))
+        result = run_cell("175.vpr", named_config("orig"), TINY, cache=False)
+        self.fill(cache, result, n=4)
+        cache.prune(self.entry_mb(cache) * 1.5)
+        records = [json.loads(l) for l in log_path.read_text().splitlines()]
+        prunes = [r for r in records if r["event"] == "cache.prune"]
+        assert len(prunes) == 1
+        assert prunes[0]["removed"] == 3
+        assert prunes[0]["freed_bytes"] > 0

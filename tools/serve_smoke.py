@@ -11,7 +11,13 @@ drives the differential smoke:
 3. resubmit the identical grid and assert at least 90% of cells resolve
    from the content-addressed cache (in practice: all of them);
 4. assert the perf ledger carries ``job_id``/``tenant`` provenance for
-   every executed cell.
+   every executed cell;
+5. scrape ``GET /v1/metrics`` and assert the fleet telemetry agrees:
+   per-layer dedup counts summing to both jobs' cells, a >=90% resubmit
+   dedup ratio visible in the cache layer, and nonzero latency-histogram
+   buckets — then write the snapshot to ``serve-metrics.json``
+   (``$SERVE_SMOKE_METRICS`` overrides the path; CI uploads it as an
+   artifact).
 
 Exits non-zero with a named failure on any violation.  Wire/endpoint
 reference: ``docs/SERVICE.md``.
@@ -34,6 +40,12 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro.cli import DIFF_LADDER  # noqa: E402
 from repro.common.config import SimParams  # noqa: E402
+from repro.obs.telemetry import (  # noqa: E402
+    M_CELL_LATENCY,
+    M_CELLS_TOTAL,
+    snapshot_hist,
+    snapshot_value,
+)
 from repro.serve.client import ServeClient  # noqa: E402
 from repro.serve.wire import SweepSpec  # noqa: E402
 from repro.sim.sweep import run_grid  # noqa: E402
@@ -147,6 +159,33 @@ def main() -> int:
                  f"provenance")
         print(f"serve-smoke: ledger has {len(records)} records, every one "
               f"stamped job_id={first['job_id']} tenant={TENANT}")
+
+        snap = client.metrics()
+        by_layer = {
+            layer: snapshot_value(snap, M_CELLS_TOTAL, {"source": layer})
+            for layer in ("cache", "dedup", "run", "failed")
+        }
+        if sum(by_layer.values()) != 2 * n_cells:
+            fail(f"/v1/metrics per-layer cell counts {by_layer} do not sum "
+                 f"to both jobs' {2 * n_cells} cells")
+        metrics_hit_rate = (by_layer["cache"] + by_layer["dedup"]) / n_cells
+        if metrics_hit_rate < MIN_RESUBMIT_HIT_RATE:
+            fail(f"/v1/metrics dedup ratio {metrics_hit_rate:.0%} < "
+                 f"{MIN_RESUBMIT_HIT_RATE:.0%} (layers: {by_layer})")
+        lat_count, lat_sum = snapshot_hist(snap, M_CELL_LATENCY)
+        if lat_count != n_cells or lat_sum <= 0.0:
+            fail(f"latency histogram recorded {lat_count} cells "
+                 f"(sum {lat_sum:.3f}s), expected {n_cells} with "
+                 f"nonzero buckets")
+        prom = client.metrics_text()
+        if f'{M_CELLS_TOTAL}{{source="run"}} {n_cells:d}' not in prom:
+            fail("Prometheus text exposition missing the run-layer count")
+        metrics_out = Path(os.environ.get("SERVE_SMOKE_METRICS",
+                                          REPO / "serve-metrics.json"))
+        metrics_out.write_text(json.dumps(snap, indent=2, sort_keys=True))
+        print(f"serve-smoke: /v1/metrics layers {by_layer} "
+              f"({metrics_hit_rate:.0%} resubmit dedup), latency histogram "
+              f"{lat_count} cells / {lat_sum:.2f}s — snapshot {metrics_out}")
 
         client.shutdown()
         proc.wait(timeout=10)
