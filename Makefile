@@ -43,7 +43,7 @@ test:
 	$(PY) -m pytest -x -q
 
 lint:
-	$(PY) -m repro lint src --baseline lint-baseline.json
+	$(PY) -m repro lint src --flow --baseline lint-baseline.json
 
 # Smoke scale 1e-4: cells must run >=10ms per engine or the recorded
 # walls are dominated by single-shot scheduler jitter (the grid runs

@@ -306,8 +306,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="baseline JSON ratchet file; matching findings "
                              "are suppressed (every entry needs a reason), "
                              "stale entries are reported")
-    lint_p.add_argument("--format", choices=["text", "json"], default="text",
-                        help="output format (default text)")
+    lint_p.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text",
+                        help="output format (default text); sarif emits a "
+                             "SARIF 2.1.0 document for PR annotation")
+    lint_p.add_argument("--flow", action="store_true",
+                        help="also run the whole-program flow pass "
+                             "(call graph + effect summaries): engine "
+                             "parity ENG001/ENG002, async-safety "
+                             "ASY001-ASY003, interprocedural DET001/"
+                             "DET004 (docs/STATIC_ANALYSIS.md, \"Flow "
+                             "analysis\"); make lint runs with this on")
     lint_p.add_argument("--write-baseline", default=None, metavar="FILE",
                         help="write current findings to FILE as a new "
                              "baseline (reasons stamped as TODO; the "
@@ -1195,14 +1204,19 @@ def _cmd_lint(args) -> int:
     if args.write_baseline:
         # Regenerate against the *unbaselined* findings so the new file
         # is complete, not a delta on top of the old one.
-        report = lint_paths(args.paths, rules=rules)
+        report = lint_paths(args.paths, rules=rules, flow=args.flow)
         write_baseline(report.findings, Path(args.write_baseline), Path.cwd())
         print(f"wrote {len(report.findings)} entr(y/ies) to "
               f"{args.write_baseline} — fill in every reason before use")
         return 0
-    report = lint_paths(args.paths, rules=rules, baseline=baseline)
+    report = lint_paths(args.paths, rules=rules, baseline=baseline,
+                        flow=args.flow)
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        from .lint.sarif import render_sarif
+
+        print(json.dumps(render_sarif(report), indent=2))
     else:
         print(report.render_text())
     return report.exit_code

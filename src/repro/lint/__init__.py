@@ -13,6 +13,15 @@ perf ledger, and regression gate all rest on ("same config + same code
     kinds, and no blanket ``except``.  Exposed as ``repro lint`` with
     the established 0/1/2 exit convention.
 
+``repro.lint.flow``
+    A whole-program pass (``repro lint --flow``) on a project call
+    graph with per-function effect summaries: fast-engine/oracle
+    counter-order parity (ENG001/ENG002 via ``# parity:`` tags),
+    async-safety for the serve layer (ASY001–ASY003), and
+    interprocedural DET001/DET004 — a wall-clock or environment read
+    in an exempt module is flagged at the call site that makes it
+    reachable from a scoped layer.
+
 ``repro.lint.sanitize``
     A runtime sanitizer (``REPRO_SANITIZE=1`` or ``--sanitize``) that
     asserts the paper's architectural invariants while a simulation
@@ -32,6 +41,7 @@ from __future__ import annotations
 from .engine import LintReport, lint_paths, lint_source, load_baseline, write_baseline
 from .rules import RULES, RULES_BY_ID, Finding, Rule
 from .sanitize import Sanitizer, SanitizerError, maybe_sanitizer, sanitize_enabled
+from .sarif import render_sarif
 
 __all__ = [
     "Finding",
@@ -45,6 +55,7 @@ __all__ = [
     "lint_source",
     "load_baseline",
     "maybe_sanitizer",
+    "render_sarif",
     "sanitize_enabled",
     "write_baseline",
 ]

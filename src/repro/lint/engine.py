@@ -113,13 +113,23 @@ def lint_source(
     raw = check_module(tree, module, path, rules)
     if not raw:
         return [], 0
-    tags = parse_allow_tags(text)
+    return _apply_allow_tags(raw, parse_allow_tags(text))
+
+
+def _apply_allow_tags(
+    raw: Sequence[Finding], tags: Dict[int, Dict[str, str]]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (kept, n_suppressed) using justified tags.
+
+    A tag counts on the finding's line, the line above it, and every
+    anchor line (plus the line above each anchor) — anchors are how a
+    finding on a decorated def spans its decorator list.
+    """
     findings: List[Finding] = []
     suppressed = 0
     for finding in raw:
-        here = tags.get(finding.line, {})
-        above = tags.get(finding.line - 1, {})
-        if finding.rule in here or finding.rule in above:
+        if any(finding.rule in tags.get(line, {})
+               for line in finding.tag_lines()):
             suppressed += 1
         else:
             findings.append(finding)
@@ -228,6 +238,7 @@ class LintReport:
     n_suppressed: int = 0
     n_baselined: int = 0
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    missing_baseline: List[BaselineEntry] = field(default_factory=list)
     rules: Tuple[str, ...] = ()
 
     @property
@@ -243,6 +254,12 @@ class LintReport:
             lines.append(
                 f"warning: stale baseline entry {entry.rule} "
                 f"{entry.path}:{entry.line} no longer matches — remove it"
+            )
+        for entry in self.missing_baseline:
+            lines.append(
+                f"warning: baseline entry {entry.rule} "
+                f"{entry.path}:{entry.line} points at a file that no "
+                "longer exists — remove the entry"
             )
         extras = []
         if self.n_suppressed:
@@ -264,6 +281,7 @@ class LintReport:
             "suppressed": self.n_suppressed,
             "baselined": self.n_baselined,
             "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "missing_baseline": [e.to_dict() for e in self.missing_baseline],
         }
 
 
@@ -290,12 +308,17 @@ def lint_paths(
     paths: Iterable[Path],
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[Path] = None,
+    flow: bool = False,
 ) -> LintReport:
     """Lint files/directories and return an aggregated :class:`LintReport`.
 
     ``rules`` restricts the pass to the given rule ids (unknown ids are
     a :class:`LintError`).  ``baseline`` applies a ratchet file; entry
     paths are resolved relative to the baseline file's directory.
+    ``flow`` additionally runs the whole-program pass
+    (:mod:`repro.lint.flow`): the call graph is built over the entire
+    enclosing ``repro`` package, findings are reported for the linted
+    files only, and allow tags / the baseline apply to them as usual.
     """
     if rules is not None:
         unknown = sorted(set(rules) - set(RULES_BY_ID))
@@ -311,22 +334,48 @@ def lint_paths(
         n_files=len(files),
         rules=tuple(rules) if rules is not None else tuple(r.id for r in RULES),
     )
+    texts: Dict[str, str] = {}
     for file_path in files:
         try:
             text = file_path.read_text(encoding="utf-8")
         except OSError as exc:
             raise LintError(f"cannot read {file_path}: {exc}") from exc
+        texts[str(file_path)] = text
         findings, suppressed = lint_source(text, path=str(file_path), rules=rules)
         report.findings.extend(findings)
         report.n_suppressed += suppressed
+
+    if flow:
+        from .flow import run_flow
+
+        raw = run_flow(files, rules=rules)
+        by_path: Dict[str, List[Finding]] = {}
+        for finding in raw:
+            by_path.setdefault(finding.path, []).append(finding)
+        for path_str, path_findings in by_path.items():
+            text = texts.get(path_str)
+            if text is None:  # flow path spelling differs from lint walk
+                try:
+                    text = Path(path_str).read_text(encoding="utf-8")
+                except OSError:
+                    text = ""
+            kept, suppressed = _apply_allow_tags(
+                path_findings, parse_allow_tags(text)
+            )
+            report.findings.extend(kept)
+            report.n_suppressed += suppressed
 
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
 
     if baseline is not None:
         entries = load_baseline(baseline)
         base_dir = baseline.resolve().parent
+        present = [e for e in entries if (base_dir / e.path).is_file()]
+        report.missing_baseline = [
+            e for e in entries if not (base_dir / e.path).is_file()
+        ]
         matched: Dict[Tuple[str, Path, int], BaselineEntry] = {
-            (e.rule, (base_dir / e.path).resolve(), e.line): e for e in entries
+            (e.rule, (base_dir / e.path).resolve(), e.line): e for e in present
         }
         used = set()
         remaining: List[Finding] = []

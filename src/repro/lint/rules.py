@@ -30,17 +30,33 @@ __all__ = ["Finding", "Rule", "RULES", "RULES_BY_ID", "check_module"]
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
+
+    ``anchors`` lists *additional* lines where an allow tag suppresses
+    this finding (beyond the finding's own line and the line above it).
+    Findings on decorated defs/classes anchor to their decorator list,
+    so a tag above the decorators still counts.  Anchors are suppression
+    metadata, not location — they stay out of ``to_dict``.
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    anchors: Tuple[int, ...] = ()
 
     @property
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
+
+    def tag_lines(self) -> Tuple[int, ...]:
+        """Every line where an allow tag suppresses this finding."""
+        lines = {self.line, self.line - 1}
+        for anchor in self.anchors:
+            lines.add(anchor)
+            lines.add(anchor - 1)
+        return tuple(sorted(lines))
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -178,6 +194,54 @@ RULES: Tuple[Rule, ...] = (
         "fallbacks; catch typed errors, or justify the boundary with "
         "# lint: allow(EXC001 reason).",
     ),
+    # -- flow rules: fired by repro.lint.flow (repro lint --flow), not by
+    # the single-file AST pass below.  They live in this catalog so the
+    # CLI, SARIF export, allow tags and the baseline treat them like any
+    # other rule.
+    Rule(
+        "ENG001",
+        "fast-engine transcriptions mirror their oracle's effect order",
+        "Each `# parity: <oracle.qualname>`-tagged function in the fast "
+        "engine is a hand-fused transcription of an oracle policy method; "
+        "its flattened counter-touch sequence must be order-identical to "
+        "the oracle's, or the bit-identity the diff gate samples is "
+        "silently broken for unsampled configs.",
+        ("repro.sim.fast",),
+    ),
+    Rule(
+        "ENG002",
+        "fast-engine counter sites declare their oracle counterpart",
+        "A function in the fast engine that touches counters without a "
+        "`# parity:` tag (and without being fused under a tagged site) "
+        "is a transcription the parity check cannot see; tag it, or "
+        "justify with allow(ENG002 reason) why it has no oracle twin.",
+        ("repro.sim.fast",),
+    ),
+    Rule(
+        "ASY001",
+        "no blocking calls reachable inside async defs",
+        "A blocking call (time.sleep, sync file I/O, subprocess.run) "
+        "reachable from an async def through any chain of sync helpers "
+        "stalls the server's event loop for every job in flight; offload "
+        "with asyncio.to_thread or use the async equivalent.",
+        ("repro.serve", "repro.obs.telemetry"),
+    ),
+    Rule(
+        "ASY002",
+        "coroutines are awaited or scheduled",
+        "Calling a coroutine function as a bare statement builds a "
+        "coroutine object and drops it — the body never runs; await it, "
+        "or hand it to asyncio.create_task.",
+        ("repro.serve", "repro.obs.telemetry"),
+    ),
+    Rule(
+        "ASY003",
+        "lock-guarded state is mutated only under its lock",
+        "An attribute mutated under a declared threading lock anywhere "
+        "in a class is shared state; mutating it outside the lock races "
+        "the HTTP snapshot threads against the event loop.",
+        ("repro.serve", "repro.obs.telemetry"),
+    ),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {r.id: r for r in RULES}
@@ -281,8 +345,15 @@ class _Checker(ast.NodeVisitor):
 
     def _report(self, rule: str, node: ast.AST, message: str) -> None:
         if rule in self.active:
+            # Findings on decorated defs/classes anchor to the decorator
+            # list so an allow tag above the decorators still suppresses
+            # (node.lineno is the `def`/`class` line, *below* decorators).
+            anchors = tuple(
+                d.lineno for d in getattr(node, "decorator_list", [])
+            )
             self.findings.append(
-                Finding(rule, self.path, node.lineno, node.col_offset, message)
+                Finding(rule, self.path, node.lineno, node.col_offset,
+                        message, anchors=anchors)
             )
 
     def _canon(self, node: ast.AST) -> Optional[str]:

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 export for ``repro lint --format sarif``.
+
+One run, one tool (``repro-lint``), the full rule catalog as
+``tool.driver.rules`` and one result per finding.  The document is what
+GitHub's ``upload-sarif`` action ingests to annotate PR diffs, so the
+fields kept are the ones code scanning actually renders: rule id +
+metadata, message text, and a physical location with a 1-based region
+(SARIF columns are 1-based; ``Finding.col`` is a 0-based AST offset).
+
+Stale/missing-baseline warnings are process diagnostics, not code
+findings — they surface in the text/json formats and the exit code, not
+here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from .engine import LintReport
+from .rules import RULES
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _artifact_uri(path: str) -> str:
+    """Repo-relative POSIX uri when possible, else the path as given."""
+    p = Path(path)
+    try:
+        return p.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def render_sarif(report: LintReport) -> Dict[str, object]:
+    """The report as a SARIF 2.1.0 document (a JSON-serializable dict)."""
+    rule_index = {rule.id: i for i, rule in enumerate(RULES)}
+    rules_meta: List[Dict[str, object]] = [
+        {
+            "id": rule.id,
+            "name": rule.id,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "helpUri": "docs/STATIC_ANALYSIS.md",
+            "properties": {
+                "scopes": list(rule.scopes) if rule.scopes else ["everywhere"],
+            },
+        }
+        for rule in RULES
+    ]
+    results: List[Dict[str, object]] = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(finding.path),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

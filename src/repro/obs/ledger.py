@@ -183,6 +183,7 @@ class PerfRecord:
             context=context,
             label=label,
             provenance=provenance,
+            # lint: allow(DET001 ledger timestamp: record provenance only, never feeds sim state or cache keys)
             ts=time.time(),
         )
 

@@ -301,7 +301,13 @@ class JobQueue:
         job.state = "running"
         self.registry.inc(M_JOBS_TOTAL, state="submitted")
         for index, (cell, key) in enumerate(zip(cells, keys)):
-            hit = self.cache.get(key) if self.cache is not None else None
+            # DiskCache.get reads from disk; keep it off the event loop.
+            # The await may interleave another submit for the same key:
+            # whichever coroutine misses first registers in _inflight
+            # below and the later one becomes a follower, so dedup holds.
+            hit = None
+            if self.cache is not None:
+                hit = await asyncio.to_thread(self.cache.get, key)
             if hit is not None:
                 self.registry.inc(M_CELLS_TOTAL, source="cache")
                 self.log.event(EV_CELL_RESOLVED, job_id=job_id,

@@ -514,7 +514,9 @@ class ServeServer:
         before every scrape so the counters are fleet-wide.
         """
         if self.queue.cache is not None:
-            self.queue.cache.sync_telemetry()
+            # Reads the sidecar totals file from disk; registry ops are
+            # lock-guarded, so reconciling off-loop is safe.
+            await asyncio.to_thread(self.queue.cache.sync_telemetry)
         fmt = (query.get("format") or ["prometheus"])[0]
         if fmt == "json":
             await self._respond(writer, 200, self.telemetry.snapshot())
@@ -600,6 +602,7 @@ class ServerThread:
 
     def _run(self) -> None:
         async def main() -> None:
+            # lint: allow(ASY001 one-time construction before the loop serves traffic; the log file must be open before start() can accept a connection)
             self.server = ServeServer(**self._kwargs)
             self._loop = asyncio.get_running_loop()
             try:

@@ -430,6 +430,7 @@ class _FastTU:
             self._side_insert(victim, vflags)
         s[block] = flags
 
+    # parity: repro.mem.hierarchy.TUMemSystem._prefetch_next_into_sidecar, repro.mem.hierarchy.TUMemSystem._prefetch_block_into_sidecar
     def _prefetch_block(self, target: int) -> None:
         """Fetch ``target`` into the sidecar (next-line and stream)."""
         if target in self.l1d_sets[target & self.l1d_mask] or target in self.side:
@@ -468,6 +469,7 @@ class _FastTU:
 
     # -- WEC policy ----------------------------------------------------
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_correct_wec
     def _load_correct_wec(self, addr: int):
         m = self.m
         m["loads"] += 1
@@ -502,6 +504,7 @@ class _FastTU:
         m["demand_fills"] += 1
         return 1 + self._fill_evict_side(block, 0)
 
+    # parity: repro.mem.hierarchy.TUMemSystem._store_correct_wec, repro.mem.hierarchy.TUMemSystem._store_correct_vc
     def _store_correct_sidecar(self, addr: int):
         """Store under WEC and VC policies (identical in the oracle)."""
         m = self.m
@@ -531,6 +534,7 @@ class _FastTU:
         m["demand_fills"] += 1
         return 1 + self._fill_evict_side(block, DIRTY)
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_wrong_wec
     def _load_wrong_wec(self, addr: int):
         m = self.m
         m["wrong_loads"] += 1
@@ -557,6 +561,7 @@ class _FastTU:
 
     # -- victim-cache policy -------------------------------------------
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_correct_vc
     def _load_correct_vc(self, addr: int):
         m = self.m
         m["loads"] += 1
@@ -586,6 +591,7 @@ class _FastTU:
         m["demand_fills"] += 1
         return 1 + self._fill_evict_side(block, 0)
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_wrong_vc
     def _load_wrong_vc(self, addr: int):
         m = self.m
         m["wrong_loads"] += 1
@@ -609,6 +615,7 @@ class _FastTU:
 
     # -- next-line prefetch policy -------------------------------------
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_correct_nlp
     def _load_correct_nlp(self, addr: int):
         m = self.m
         m["loads"] += 1
@@ -651,6 +658,7 @@ class _FastTU:
         self._prefetch_block(block + 1)
         return 1 + latency
 
+    # parity: repro.mem.hierarchy.TUMemSystem._store_correct_nlp
     def _store_correct_nlp(self, addr: int):
         m = self.m
         m["stores"] += 1
@@ -679,6 +687,7 @@ class _FastTU:
         m["demand_fills"] += 1
         return 1 + self._fill_evict_l2(block, DIRTY)
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_wrong_nlp
     def _load_wrong_nlp(self, addr: int):
         m = self.m
         m["wrong_loads"] += 1
@@ -727,6 +736,7 @@ class _FastTU:
             if t >= 0:
                 self._prefetch_block(t)
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_correct_stream
     def _load_correct_stream(self, addr: int):
         m = self.m
         m["loads"] += 1
@@ -790,6 +800,7 @@ class _FastTU:
 
     # -- plain policy --------------------------------------------------
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_correct_plain
     def _load_correct_plain(self, addr: int):
         m = self.m
         m["loads"] += 1
@@ -842,6 +853,7 @@ class _FastTU:
         s[block] = 0
         return 1 + latency
 
+    # parity: repro.mem.hierarchy.TUMemSystem._store_correct_plain
     def _store_correct_plain(self, addr: int):
         m = self.m
         m["stores"] += 1
@@ -891,6 +903,7 @@ class _FastTU:
         s[block] = DIRTY
         return 1 + latency
 
+    # parity: repro.mem.hierarchy.TUMemSystem._load_wrong_plain
     def _load_wrong_plain(self, addr: int):
         m = self.m
         m["wrong_loads"] += 1
@@ -940,6 +953,7 @@ class _FastTU:
 
     # -- instruction fetch ---------------------------------------------
 
+    # parity: repro.mem.hierarchy.TUMemSystem.ifetch
     def _ifetch(self, addr: int) -> int:
         m = self.m
         m["ifetches"] += 1
@@ -959,6 +973,7 @@ class _FastTU:
 
     # -- coherence hook ------------------------------------------------
 
+    # parity: repro.mem.hierarchy.TUMemSystem.bus_update
     def bus_update(self, addr: int) -> bool:
         block = addr >> self.l1d_bits
         present = block in self.l1d_sets[block & self.l1d_mask] or (
@@ -971,6 +986,7 @@ class _FastTU:
 
     # -- branch resolve ------------------------------------------------
 
+    # parity: repro.branch.frontend.BranchUnit.resolve
     def _resolve(self, pc: int, taken: bool) -> bool:
         bp = self.bp
         bp["branches"] += 1
@@ -1000,6 +1016,7 @@ class _FastTU:
 
     # -- iteration execution -------------------------------------------
 
+    # lint: allow(ENG002 dispatch loop: its counters are per-iteration bookkeeping spread across the oracle pipeline, not a single method transcription; every memory counter fuses under the tagged load/store handlers it calls)
     def execute(self, info: _RegionInfo, index: int, trace, sequential: bool,
                 upstream_targets: Optional[List[int]]):
         """Replay one iteration/chunk; returns its four stage cycles."""
@@ -1313,6 +1330,7 @@ class _FastTU:
         wb += store_w
         return cont, tsag, comp_c, wb
 
+    # lint: allow(ENG002 wrong-thread driver: mirrors the oracle's scheduler loop, not one method; its load counters fuse under the tagged _load_wrong_* handlers)
     def run_wrong_thread(self, comp: CompiledRegion, info: _RegionInfo,
                          start_iter: int) -> int:
         eng = self.eng
@@ -1416,6 +1434,7 @@ class _FastMachine:
             self.region_info[id(region)] = info
         return info
 
+    # lint: allow(ENG002 inlined bus probe: transcribes two oracle sites (sequential_store + bus_update accounting) whose counters cannot be expressed as one qualname; covered by diff-smoke bit-identity)
     def sequential_store(self, writer_tu: int, addr: int) -> None:
         bus_c = self.bus_c
         bus_c["store_broadcasts"] += 1

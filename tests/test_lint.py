@@ -41,7 +41,7 @@ def rules_fired(source: str, module: str) -> set:
 
 class TestRuleCatalog:
     def test_every_rule_has_metadata(self):
-        assert len(RULES) == 10
+        assert len(RULES) == 15
         for rule in RULES:
             assert rule.title and rule.rationale
             assert RULES_BY_ID[rule.id] is rule
