@@ -27,6 +27,16 @@
 #                     uploads it as an artifact, docs/SERVICE.md)
 #   make perf-gate    bench-smoke + regression check vs the committed
 #                     baseline (benchmarks/BENCH_baseline.json)
+#   make fidelity-smoke  full fidelity campaign (fig08-fig17 + tables)
+#                     at smoke scale on the fast engine, then a drift
+#                     check against the committed smoke baseline
+#                     (benchmarks/FIDELITY_smoke_baseline.json); exits
+#                     non-zero on any regressed gate claim.  Leaves
+#                     FIDELITY_smoke.json / FIDELITY_smoke.md behind
+#                     (CI uploads them as artifacts).  The paper-scale
+#                     campaign is `repro fidelity run` with defaults;
+#                     its committed artifacts are
+#                     benchmarks/FIDELITY_baseline.json + docs/FIDELITY.md.
 #   make explain-smoke  attribution layer end-to-end at tiny scale:
 #                     repro explain on the fig11 WEC-vs-plain pair
 #                     (docs/OBSERVABILITY.md, "Attribution")
@@ -37,7 +47,7 @@ PY ?= python
 BENCH_JOBS ?= 1
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke diff-smoke serve-smoke explain-smoke perf-gate calibrate
+.PHONY: test lint bench bench-smoke diff-smoke serve-smoke explain-smoke perf-gate fidelity-smoke calibrate
 
 test:
 	$(PY) -m pytest -x -q
@@ -68,6 +78,14 @@ explain-smoke:
 perf-gate: bench-smoke
 	$(PY) -m repro perf compare benchmarks/BENCH_baseline.json \
 	BENCH_smoke.json --threshold 10%
+
+fidelity-smoke:
+	rm -rf .perf-fidelity
+	$(PY) -m repro fidelity run --scale 2e-5 --engine fast \
+	--jobs $(BENCH_JOBS) --no-cache --dir .perf-fidelity \
+	--out FIDELITY_smoke.json --md FIDELITY_smoke.md
+	$(PY) -m repro fidelity check benchmarks/FIDELITY_smoke_baseline.json \
+	--new FIDELITY_smoke.json
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -q

@@ -30,9 +30,10 @@ context ``"bench"`` — see ``docs/OBSERVABILITY.md`` and
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro import MachineConfig, SimParams
+from repro.obs.fidelity import claim_band as _registry_claim_band
 from repro.sim.executor import (
     SweepCell,
     config_fingerprint,
@@ -60,9 +61,26 @@ _programs: Dict[str, Program] = {}
 _results: Dict[Tuple[str, str], SimResult] = {}
 
 
+_bands: Dict[str, Tuple[Optional[float], Optional[float]]] = {}
+
+
 def params() -> SimParams:
     """The SimParams all bench targets share."""
     return _params
+
+
+def claim_band(claim_id: str) -> Tuple[Optional[float], Optional[float]]:
+    """Memoized ``[lo, hi]`` tolerance band from ``benchmarks/claims.json``.
+
+    Bench files read their numeric thresholds from the claim registry —
+    the same bands ``repro fidelity run`` scores and ``repro fidelity
+    check`` gates on — so a band can never drift between the bench
+    suite and the fidelity observatory.  ``None`` means unbounded on
+    that side.
+    """
+    if claim_id not in _bands:
+        _bands[claim_id] = _registry_claim_band(claim_id)
+    return _bands[claim_id]
 
 
 def program(bench: str) -> Program:

@@ -14,7 +14,12 @@ from typing import Dict, List, Optional
 
 from ..common.errors import AnalysisError
 
-__all__ = ["ShapeCheck", "ExperimentRecord", "render_report"]
+__all__ = [
+    "ShapeCheck",
+    "ExperimentRecord",
+    "claims_to_record",
+    "render_report",
+]
 
 
 @dataclass
@@ -70,6 +75,52 @@ class ExperimentRecord:
             lines.extend(["", self.notes])
         lines.append("")
         return "\n".join(lines)
+
+
+def claims_to_record(
+    scored_claims: List[Dict],
+    exp_id: str,
+    title: str,
+    workload: str,
+    bench_target: str,
+    notes: str = "",
+) -> ExperimentRecord:
+    """An :class:`ExperimentRecord` from scored fidelity claims.
+
+    ``scored_claims`` are claim dicts as produced by
+    :func:`repro.obs.fidelity.evaluate_claims` (via
+    ``ScoredClaim.to_dict``) — the registry in ``benchmarks/claims.json``
+    becomes the single source of tolerance bands, replacing hand-rolled
+    per-report thresholds.  Skipped claims render as failed checks with
+    the skip reason, so a report can never silently omit a claim.
+    """
+    if not scored_claims:
+        raise AnalysisError(f"{exp_id}: no scored claims to record")
+    record = ExperimentRecord(
+        exp_id=exp_id, title=title, workload=workload,
+        bench_target=bench_target, notes=notes,
+    )
+    for claim in scored_claims:
+        measured = claim.get("measured")
+        unit = claim.get("unit", "")
+        if claim.get("status") == "skipped":
+            shown = f"skipped: {claim.get('reason', 'unknown')}"
+        elif claim.get("kind") == "bool":
+            shown = "yes" if measured else "no"
+        else:
+            shown = f"{measured:+.2f}{(' ' + unit) if unit else ''}"
+            band = claim.get("band")
+            if band:
+                lo = "-inf" if band[0] is None else f"{band[0]:g}"
+                hi = "inf" if band[1] is None else f"{band[1]:g}"
+                shown += f" (band [{lo}, {hi}])"
+        record.add_check(
+            f"{claim['id']}: {claim['title']}",
+            claim.get("paper") or "(shape predicate)",
+            shown,
+            claim.get("status") == "pass",
+        )
+    return record
 
 
 def render_report(records: List[ExperimentRecord], header: str = "") -> str:

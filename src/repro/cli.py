@@ -24,6 +24,12 @@ Commands
     The performance observatory: append profiled runs to the persistent
     ledger (``$REPRO_PERF_DIR``, default ``.perf``), compare two record
     sets benchstat-style, and render the recorded trajectory.
+``fidelity run | check | report``
+    The fidelity observatory (``docs/OBSERVABILITY.md``): run the
+    fig08–fig17 + tables campaign grid and score every paper claim in
+    ``benchmarks/claims.json``, diff a fresh campaign against the
+    committed baseline (exit 1 on a regressed *gate* claim), and render
+    the campaign trajectory.
 ``lint``
     Static determinism/invariant analysis over Python sources (rule
     catalog in ``docs/STATIC_ANALYSIS.md``); exit 1 on findings.
@@ -50,6 +56,9 @@ Examples
     python -m repro perf record 181.mcf wth-wp-wec --repeat 4 --label before
     python -m repro perf compare before after --threshold 10%
     python -m repro perf report --json BENCH_smoke.json
+    python -m repro fidelity run --scale 2e-4 --jobs 4 --engine fast
+    python -m repro fidelity check benchmarks/FIDELITY_baseline.json
+    python -m repro fidelity report
     python -m repro lint src --baseline lint-baseline.json
     python -m repro serve --port 8753 --workers 4 --engine fast
     python -m repro submit --benchmarks mcf,equake --configs orig,wth-wp-wec
@@ -83,7 +92,7 @@ import os
 import sys
 import time
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from .analysis.speedup import suite_average_speedup_pct
 from .common.config import SimParams
@@ -104,6 +113,16 @@ from .obs.attrib import (
 )
 from .obs.compare import compare_records, parse_threshold
 from .obs.events import CATEGORIES
+from .obs.fidelity import (
+    PERTURBATIONS,
+    append_trend,
+    diff_exports,
+    load_fidelity_export,
+    load_trend,
+    render_markdown,
+    render_trend,
+    run_campaign,
+)
 from .obs.export import write_chrome_trace, write_jsonl, write_service_trace
 from .obs.hostprof import HostProfiler, peak_rss_kb
 from .obs.ledger import (
@@ -125,6 +144,7 @@ from .obs.telemetry import (
     snapshot_hist,
     snapshot_total,
     snapshot_value,
+    standard_registry,
 )
 from .obs.tracer import IntervalMetrics, RingBufferTracer
 from .sim.driver import ENGINES, run_program, run_simulation
@@ -511,6 +531,84 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--json", default=None, metavar="PATH",
                        help="also write the records as a validated JSON "
                             "export document (e.g. BENCH_smoke.json)")
+
+    fid_p = sub.add_parser(
+        "fidelity",
+        help="fidelity observatory: score the paper's claims against a "
+             "campaign run and gate on drift (docs/OBSERVABILITY.md)",
+    )
+    fid_sub = fid_p.add_subparsers(dest="fidelity_command", required=True)
+
+    def add_fidelity_run_knobs(sp):
+        sp.add_argument("--jobs", type=int, default=default_jobs(),
+                        help="worker processes for the campaign grid "
+                             "(default $REPRO_JOBS or 1 = serial)")
+        sp.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+        sp.add_argument("--claims", default=None, metavar="PATH",
+                        help="claim registry (default "
+                             "benchmarks/claims.json)")
+        sp.add_argument("--perturb", default=None, choices=PERTURBATIONS,
+                        help="apply a seeded out-of-band config change "
+                             "(gate-proving: 'no-wec' strips the WEC and "
+                             "must trip `fidelity check`)")
+        sp.add_argument("--dir", default=None, metavar="PATH",
+                        help="perf/trajectory directory (default "
+                             "$REPRO_PERF_DIR or .perf); campaign cells "
+                             "land in its ledger with context=fidelity")
+        add_engine(sp)
+        add_sanitize(sp)
+
+    frun_p = fid_sub.add_parser(
+        "run",
+        help="run the fig08–fig17 + tables campaign grid, score every "
+             "claim in the registry, write the export/report artifacts",
+    )
+    frun_p.add_argument("--scale", type=float, default=2e-4,
+                        help="instruction scale vs Table 2 (default 2e-4)")
+    frun_p.add_argument("--seed", type=int, default=2003)
+    frun_p.add_argument("--sections", default=None, metavar="NAMES",
+                        help="comma-separated grid sections to run "
+                             "(default: all); claims needing an unrun "
+                             "section score 'skipped'")
+    frun_p.add_argument("--via", default="local",
+                        choices=("local", "serve"),
+                        help="resolve the grid locally or through a "
+                             "running `repro serve`")
+    add_client(frun_p)
+    frun_p.add_argument("--out", default=None, metavar="PATH",
+                        help="write the scored campaign as a JSON export "
+                             "(e.g. benchmarks/FIDELITY_baseline.json)")
+    frun_p.add_argument("--md", default=None, metavar="PATH",
+                        help="render the measured-vs-paper markdown "
+                             "report (e.g. docs/FIDELITY.md)")
+    add_fidelity_run_knobs(frun_p)
+
+    fchk_p = fid_sub.add_parser(
+        "check",
+        help="diff a fresh campaign (or --new export) against a "
+             "committed baseline; exit 1 on any regressed gate claim",
+    )
+    fchk_p.add_argument("baseline",
+                        help="baseline campaign export (e.g. "
+                             "benchmarks/FIDELITY_baseline.json)")
+    fchk_p.add_argument("--new", default=None, metavar="PATH",
+                        help="pre-recorded campaign export to compare; "
+                             "default: run a fresh campaign at the "
+                             "baseline's recorded scale/seed/sections")
+    fchk_p.add_argument("--threshold", default="10%", metavar="PCT",
+                        help="polarity-aware drift threshold: '10%%', "
+                             "'10' (percent) or '0.1' (fraction); "
+                             "default 10%%")
+    add_fidelity_run_knobs(fchk_p)
+
+    frep_p = fid_sub.add_parser(
+        "report",
+        help="render the recorded campaign trajectory",
+    )
+    frep_p.add_argument("--dir", default=None, metavar="PATH",
+                        help="trajectory directory (default "
+                             "$REPRO_PERF_DIR or .perf)")
 
     return p
 
@@ -1188,6 +1286,107 @@ def _cmd_perf_report(args) -> int:
     return 0
 
 
+def _fidelity_campaign(args, scale: float, seed: int,
+                       sections: Optional[List[str]]) -> Dict:
+    """Shared campaign invocation for ``fidelity run`` and ``check``."""
+    client = None
+    if getattr(args, "via", "local") == "serve":
+        from .serve.client import ServeClient
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.dir:
+        # Env-var propagation (like --sanitize): forked grid workers
+        # read $REPRO_PERF_DIR, so the ledger lands under --dir.
+        os.environ["REPRO_PERF_DIR"] = str(args.dir)
+    done = {"n": 0}
+
+    def progress(bench: str, label: str) -> None:
+        done["n"] += 1
+        if done["n"] % 50 == 0:
+            print(f"  ... {done['n']} cells resolved", file=sys.stderr)
+
+    return run_campaign(
+        claims_path=args.claims,
+        scale=scale,
+        seed=seed,
+        jobs=args.jobs,
+        engine=args.engine,
+        cache=False if args.no_cache else None,
+        sections=sections,
+        perturb=args.perturb,
+        telemetry=standard_registry(),
+        progress=progress if client is None else None,
+        client=client,
+    )
+
+
+def _print_fidelity_summary(doc: Dict) -> None:
+    summary = doc.get("summary", {})
+    gate, track = summary.get("gate", {}), summary.get("track", {})
+    print(f"fidelity campaign: {doc.get('n_cells', 0)} cells, "
+          f"sections {', '.join(doc.get('sections', []))}")
+    print(f"  gate  claims: {gate.get('pass', 0)} pass, "
+          f"{gate.get('fail', 0)} fail, {gate.get('skipped', 0)} skipped")
+    print(f"  track claims: {track.get('pass', 0)} pass, "
+          f"{track.get('fail', 0)} fail, {track.get('skipped', 0)} skipped")
+    for claim in doc.get("claims", []):
+        if claim["status"] == "fail":
+            band = claim.get("band")
+            band_s = f" band {band}" if band else ""
+            print(f"  [fail] {claim['id']}: measured "
+                  f"{claim.get('measured')}{band_s} (paper: "
+                  f"{claim.get('paper') or '-'})")
+        elif claim["status"] == "skipped":
+            print(f"  [skip] {claim['id']}: {claim.get('reason')}")
+
+
+def _cmd_fidelity_run(args) -> int:
+    sections = None
+    if args.sections:
+        sections = [s.strip() for s in args.sections.split(",") if s.strip()]
+    doc = _fidelity_campaign(args, args.scale, args.seed, sections)
+    _print_fidelity_summary(doc)
+    trend_path = append_trend(doc, _perf_ledger_dir(args.dir))
+    print(f"trajectory: {trend_path}")
+    if args.out:
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        print(f"export : {out}")
+    if args.md:
+        md = Path(args.md)
+        if md.parent != Path(""):
+            md.parent.mkdir(parents=True, exist_ok=True)
+        md.write_text(render_markdown(doc), encoding="utf-8")
+        print(f"report : {md}")
+    return 0
+
+
+def _cmd_fidelity_check(args) -> int:
+    base = load_fidelity_export(args.baseline)
+    threshold = parse_threshold(args.threshold)
+    if args.new:
+        new = load_fidelity_export(args.new)
+    else:
+        params = base.get("params", {})
+        sections = [s for s in base.get("sections", []) if s != "tables"]
+        new = _fidelity_campaign(
+            args,
+            float(params.get("scale", 2e-4)),
+            int(params.get("seed", 2003)),
+            sections or None,
+        )
+    diff = diff_exports(base, new, threshold)
+    print(diff.render())
+    return 1 if diff.gate_regressions else 0
+
+
+def _cmd_fidelity_report(args) -> int:
+    print(render_trend(load_trend(_perf_ledger_dir(args.dir))))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     if args.list_rules:
         for rule in RULES:
@@ -1266,6 +1465,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return _checked("perf compare", lambda: _cmd_perf_compare(args))
             if args.perf_command == "report":
                 return _checked("perf report", lambda: _cmd_perf_report(args))
+        if args.command == "fidelity":
+            if args.fidelity_command == "run":
+                return _checked("fidelity run",
+                                lambda: _cmd_fidelity_run(args))
+            if args.fidelity_command == "check":
+                return _checked("fidelity check",
+                                lambda: _cmd_fidelity_check(args))
+            if args.fidelity_command == "report":
+                return _checked("fidelity report",
+                                lambda: _cmd_fidelity_report(args))
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         return 0

@@ -62,6 +62,9 @@ __all__ = [
     "M_CELL_LATENCY",
     "M_CELL_RETRIES",
     "M_CELLS_TOTAL",
+    "M_FIDELITY_CAMPAIGNS",
+    "M_FIDELITY_CLAIM_SCORE",
+    "M_FIDELITY_CLAIMS",
     "M_JOBS_TOTAL",
     "M_QUEUE_DEPTH",
     "M_WORKER_RESPAWNS",
@@ -111,6 +114,14 @@ M_CACHE_PRUNE_PASSES = "repro_cache_prune_passes_total"
 M_CACHE_EVICTIONS = "repro_cache_evictions_total"
 #: Counter — bytes freed by quota pruning.
 M_CACHE_EVICTED_BYTES = "repro_cache_evicted_bytes_total"
+#: Counter, label ``status`` ∈ ok|failed — fidelity campaigns completed.
+M_FIDELITY_CAMPAIGNS = "repro_fidelity_campaigns_total"
+#: Counter, label ``status`` ∈ pass|fail|skipped — claims scored across
+#: all campaigns this process ran.
+M_FIDELITY_CLAIMS = "repro_fidelity_claims_total"
+#: Gauge, label ``claim`` — last measured value per claim id (value
+#: claims only; bool claims report 1.0/0.0).
+M_FIDELITY_CLAIM_SCORE = "repro_fidelity_claim_score"
 
 METRIC_NAMES: Tuple[str, ...] = (
     M_QUEUE_DEPTH,
@@ -124,6 +135,9 @@ METRIC_NAMES: Tuple[str, ...] = (
     M_CACHE_PRUNE_PASSES,
     M_CACHE_EVICTIONS,
     M_CACHE_EVICTED_BYTES,
+    M_FIDELITY_CAMPAIGNS,
+    M_FIDELITY_CLAIMS,
+    M_FIDELITY_CLAIM_SCORE,
 )
 
 #: Cell wall-time buckets: tiny smoke cells (sub-ms on the fast engine)
@@ -452,6 +466,15 @@ def standard_registry() -> MetricsRegistry:
     reg.counter(M_CACHE_EVICTIONS,
                 "cache entries evicted by quota pruning")
     reg.counter(M_CACHE_EVICTED_BYTES, "bytes freed by quota pruning")
+    reg.counter(M_FIDELITY_CAMPAIGNS,
+                "fidelity campaigns completed (ok | failed)",
+                labels=("status",))
+    reg.counter(M_FIDELITY_CLAIMS,
+                "claims scored, by verdict (pass | fail | skipped)",
+                labels=("status",))
+    reg.gauge(M_FIDELITY_CLAIM_SCORE,
+              "last measured value per claim id",
+              labels=("claim",))
     return reg
 
 

@@ -201,3 +201,102 @@ class TestPerfCli:
         rc = main(["perf", "report", "--dir", str(tmp_path),
                    "--label", "ghost"])
         assert rc == 2
+
+
+@pytest.fixture(scope="module")
+def fidelity_export(tmp_path_factory):
+    """One tiny committed-style campaign export shared by the CLI tests.
+
+    fig11-only at a tiny scale: enough cells for the fig11/fig17 gate
+    claims to evaluate (everything else scores skipped-with-reason).
+    """
+    import os
+
+    root = tmp_path_factory.mktemp("fidelity")
+    out = root / "baseline.json"
+    saved = os.environ.get("REPRO_PERF_DIR")  # --dir exports it to workers
+    try:
+        rc = main(["fidelity", "run", "--scale", "2e-6",
+                   "--sections", "fig11", "--engine", "fast", "--no-cache",
+                   "--dir", str(root / "perf"),
+                   "--out", str(out), "--md", str(root / "FIDELITY.md")])
+        assert rc == 0
+        yield root, out
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PERF_DIR", None)
+        else:
+            os.environ["REPRO_PERF_DIR"] = saved
+
+
+class TestFidelityCli:
+    def test_run_parser_defaults(self):
+        args = build_parser().parse_args(["fidelity", "run"])
+        assert args.scale == 2e-4
+        assert args.seed == 2003
+        assert args.via == "local"
+        assert args.perturb is None
+
+    def test_check_parser_defaults(self):
+        args = build_parser().parse_args(["fidelity", "check", "b.json"])
+        assert args.threshold == "10%"
+        assert args.new is None
+
+    def test_run_scores_every_claim(self, fidelity_export):
+        from repro.obs.fidelity import load_claims, validate_fidelity_export
+        root, out = fidelity_export
+        doc = json.loads(out.read_text())
+        assert validate_fidelity_export(doc) == []
+        assert len(doc["claims"]) == len(load_claims())
+        assert all(c["status"] != "skipped" or c["reason"]
+                   for c in doc["claims"])
+        md = (root / "FIDELITY.md").read_text()
+        assert md.startswith("# Fidelity report")
+        assert (root / "perf" / "fidelity.jsonl").is_file()
+
+    def test_run_unknown_section_is_usage_error(self, tmp_path, capsys):
+        rc = main(["fidelity", "run", "--scale", "2e-6",
+                   "--sections", "fig99", "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "fidelity run:" in capsys.readouterr().err
+
+    def test_check_against_itself_is_clean(self, fidelity_export, capsys):
+        root, out = fidelity_export
+        rc = main(["fidelity", "check", str(out), "--new", str(out)])
+        assert rc == 0
+        assert "ok: no fidelity drift" in capsys.readouterr().out
+
+    def test_check_perturbed_gate_claim_returns_1(self, fidelity_export,
+                                                  capsys):
+        # The seeded no-wec perturbation strips the WEC out of the rerun
+        # campaign: headline gate claims leave their bands and the check
+        # must gate (exit 1) — proof the fidelity gate actually gates.
+        root, out = fidelity_export
+        rc = main(["fidelity", "check", str(out), "--perturb", "no-wec",
+                   "--engine", "fast", "--no-cache",
+                   "--dir", str(root / "perf")])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        rc = main(["fidelity", "check", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "fidelity check:" in capsys.readouterr().err
+
+    def test_check_bad_threshold_is_usage_error(self, fidelity_export,
+                                                capsys):
+        root, out = fidelity_export
+        rc = main(["fidelity", "check", str(out), "--new", str(out),
+                   "--threshold", "lots"])
+        assert rc == 2
+
+    def test_report_renders_trajectory(self, fidelity_export, capsys):
+        root, out = fidelity_export
+        rc = main(["fidelity", "report", "--dir", str(root / "perf")])
+        assert rc == 0
+        assert "fidelity trajectory" in capsys.readouterr().out
+
+    def test_report_empty_dir_is_usage_error(self, tmp_path, capsys):
+        rc = main(["fidelity", "report", "--dir", str(tmp_path)])
+        assert rc == 2
+        assert "fidelity report:" in capsys.readouterr().err
